@@ -1,0 +1,45 @@
+# hbmsim — build, test, and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench fuzz repro repro-full figures clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l . && test -z "$$(gofmt -l .)"
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One benchmark per paper table/figure plus component micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing pass over the trace codecs.
+fuzz:
+	$(GO) test -fuzz=FuzzReadBinary -fuzztime=30s ./internal/trace/
+	$(GO) test -fuzz=FuzzReadText -fuzztime=30s ./internal/trace/
+
+# Regenerate every table and figure (laptop scale, ~4 minutes).
+repro:
+	$(GO) run ./cmd/paperrepro
+
+# Paper-scale reproduction (hours).
+repro-full:
+	$(GO) run ./cmd/paperrepro -full
+
+# SVG figures for every experiment that has a chart.
+figures:
+	$(GO) run ./cmd/hbmsweep -exp all -chart=false -svg figures/
+
+clean:
+	rm -rf figures/
+	$(GO) clean ./...

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hbmsim"
+)
+
+func TestRunWithEventLog(t *testing.T) {
+	wl := hbmsim.NewWorkload("w", []hbmsim.Trace{{0, 1, 0}, {5}})
+	path := filepath.Join(t.TempDir(), "events.csv")
+	res, err := runWithEventLog(hbmsim.Config{HBMSlots: 4, Channels: 1}, wl, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0] != "event" {
+		t.Fatalf("header missing: %v", rows[0])
+	}
+	var serves, fetches int
+	for _, r := range rows[1:] {
+		switch r[0] {
+		case "serve":
+			serves++
+		case "fetch":
+			fetches++
+		}
+	}
+	if uint64(serves) != res.TotalRefs {
+		t.Errorf("serve rows %d != refs %d", serves, res.TotalRefs)
+	}
+	if uint64(fetches) != res.Fetches {
+		t.Errorf("fetch rows %d != fetches %d", fetches, res.Fetches)
+	}
+}
+
+func TestRunWithEventLogBadPath(t *testing.T) {
+	wl := hbmsim.NewWorkload("w", []hbmsim.Trace{{0}})
+	if _, err := runWithEventLog(hbmsim.Config{HBMSlots: 4, Channels: 1}, wl,
+		filepath.Join(t.TempDir(), "nodir", "x.csv")); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}

@@ -1,0 +1,220 @@
+// Command hbmsim runs one HBM+DRAM-model simulation and prints its
+// metrics. The workload comes from a trace file (see cmd/tracegen) or a
+// built-in generator.
+//
+// Usage:
+//
+//	hbmsim -trace sort.hbmt -k 1000 -q 1 -arbiter priority -permuter dynamic -T 10000
+//	hbmsim -gen spgemm -cores 64 -k 1000 -arbiter fifo
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"hbmsim"
+
+	"hbmsim/internal/report"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file produced by tracegen (binary or .txt)")
+		gen       = flag.String("gen", "", "built-in workload: sort|spgemm|densemm|stream|bfs|adversarial|uniform|zipf")
+		cores     = flag.Int("cores", 16, "cores for -gen workloads")
+		size      = flag.Int("size", 8000, "workload size for -gen (sort N, matrix dim, refs)")
+		pageBytes = flag.Int("page", 64, "page size in bytes for instrumented -gen workloads")
+		k         = flag.Int("k", 1000, "HBM capacity in page slots")
+		q         = flag.Int("q", 1, "far channels between HBM and DRAM")
+		arb       = flag.String("arbiter", "fifo", "far-channel arbitration: fifo|priority|random")
+		repl      = flag.String("replacement", "lru", "HBM replacement: lru|fifo|clock|random|belady")
+		mapping   = flag.String("mapping", "associative", "HBM organisation: associative|direct")
+		perm      = flag.String("permuter", "static", "priority permuter: static|dynamic|cycle|cycle-reverse|interleave")
+		remap     = flag.Uint64("T", 0, "remap period in ticks (0 = never)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		percore   = flag.Bool("percore", false, "print per-core summaries")
+		asJSON    = flag.Bool("json", false, "emit the full result as JSON instead of a table")
+		eventsCSV = flag.String("events", "", "dump every serve/fetch/evict event as CSV to this file (slow)")
+	)
+	flag.Parse()
+
+	wl, err := loadWorkload(*tracePath, *gen, *cores, *size, *pageBytes, *seed)
+	if err != nil {
+		fail(err)
+	}
+
+	cfg := hbmsim.Config{
+		HBMSlots:    *k,
+		Channels:    *q,
+		Arbiter:     hbmsim.ArbiterFIFO,
+		Replacement: hbmsim.ReplaceLRU,
+		Permuter:    hbmsim.PermuterStatic,
+		RemapPeriod: hbmsim.Tick(*remap),
+		Seed:        *seed,
+	}
+	if cfg.Arbiter, err = hbmsim.ParseArbiter(*arb); err != nil {
+		fail(err)
+	}
+	if *repl == string(hbmsim.ReplaceBelady) {
+		cfg.Replacement = hbmsim.ReplaceBelady
+	} else if cfg.Replacement, err = hbmsim.ParseReplacement(*repl); err != nil {
+		fail(err)
+	}
+	if cfg.Mapping, err = hbmsim.ParseMapping(*mapping); err != nil {
+		fail(err)
+	}
+	if cfg.Permuter, err = hbmsim.ParsePermuter(*perm); err != nil {
+		fail(err)
+	}
+
+	var res *hbmsim.Result
+	if *eventsCSV != "" {
+		res, err = runWithEventLog(cfg, wl, *eventsCSV)
+	} else {
+		res, err = hbmsim.Run(cfg, wl)
+	}
+	if err != nil {
+		if res == nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "hbmsim: warning: %v\n", err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	bounds := hbmsim.LowerBounds(wl, *k, *q)
+	tbl := report.NewTable(fmt.Sprintf("Simulation of %s (p=%d, k=%d, q=%d, %s+%s, %s, permuter=%s T=%d)",
+		wl.Name, wl.Cores(), *k, *q, *arb, *repl, *mapping, *perm, *remap),
+		"metric", "value")
+	tbl.AddRow("makespan (ticks)", uint64(res.Makespan))
+	tbl.AddRow("makespan lower bound", uint64(bounds.Makespan))
+	tbl.AddRow("competitive-ratio estimate", hbmsim.CompetitiveRatio(res.Makespan, bounds))
+	tbl.AddRow("total refs", res.TotalRefs)
+	tbl.AddRow("hits", res.Hits)
+	tbl.AddRow("misses", res.Misses)
+	tbl.AddRow("hit rate", res.HitRate())
+	tbl.AddRow("fetches", res.Fetches)
+	tbl.AddRow("evictions", res.Evictions)
+	tbl.AddRow("priority remaps", res.Remaps)
+	tbl.AddRow("response time mean", res.ResponseMean)
+	tbl.AddRow("inconsistency (stddev)", res.Inconsistency)
+	tbl.AddRow("response time max", res.ResponseMax)
+	tbl.AddRow("max serve gap (starvation)", uint64(res.MaxServeGap))
+	tbl.AddRow("avg DRAM queue length", res.AvgQueueLen)
+	tbl.AddRow("far-channel utilization", res.ChannelUtilization)
+	if err := tbl.Render(os.Stdout); err != nil {
+		fail(err)
+	}
+
+	if *percore {
+		fmt.Println()
+		pc := report.NewTable("Per-core summary", "core", "refs", "hits", "completion", "resp mean", "resp max")
+		for i, c := range res.PerCore {
+			pc.AddRow(i, c.Refs, c.Hits, uint64(c.Completion), c.ResponseMean, c.ResponseMax)
+		}
+		if err := pc.Render(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func loadWorkload(tracePath, gen string, cores, size, pageBytes int, seed int64) (*hbmsim.Workload, error) {
+	switch {
+	case tracePath != "" && gen != "":
+		return nil, fmt.Errorf("hbmsim: -trace and -gen are mutually exclusive")
+	case tracePath != "":
+		return hbmsim.ReadWorkload(tracePath)
+	case gen != "":
+		return generate(gen, cores, size, pageBytes, seed)
+	default:
+		return nil, fmt.Errorf("hbmsim: one of -trace or -gen is required")
+	}
+}
+
+func generate(gen string, cores, size, pageBytes int, seed int64) (*hbmsim.Workload, error) {
+	switch gen {
+	case "sort":
+		return hbmsim.SortWorkload(cores, hbmsim.SortConfig{N: size, PageBytes: pageBytes}, seed)
+	case "spgemm":
+		return hbmsim.SpGEMMWorkload(cores, hbmsim.SpGEMMConfig{N: size, PageBytes: pageBytes}, seed)
+	case "densemm":
+		return hbmsim.DenseMMWorkload(cores, hbmsim.DenseMMConfig{N: size, PageBytes: pageBytes}, seed)
+	case "stream":
+		return hbmsim.StreamWorkload(cores, hbmsim.StreamConfig{N: size, PageBytes: pageBytes}, seed)
+	case "bfs":
+		return hbmsim.BFSWorkload(cores, hbmsim.BFSConfig{Vertices: size, PageBytes: pageBytes}, seed)
+	case "adversarial":
+		return hbmsim.AdversarialWorkload(cores, hbmsim.AdversarialConfig{Pages: size})
+	case "uniform":
+		return hbmsim.SyntheticWorkload(cores, hbmsim.SyntheticConfig{Kind: "uniform", Refs: size, Pages: size / 4}, seed)
+	case "zipf":
+		return hbmsim.SyntheticWorkload(cores, hbmsim.SyntheticConfig{Kind: "zipf", Refs: size, Pages: size / 4}, seed)
+	default:
+		return nil, fmt.Errorf("hbmsim: unknown generator %q", gen)
+	}
+}
+
+// csvObserver streams simulation events to a CSV writer.
+type csvObserver struct {
+	w *csv.Writer
+}
+
+func (o *csvObserver) OnServe(core hbmsim.CoreID, page hbmsim.PageID, tick, response hbmsim.Tick) {
+	o.w.Write([]string{"serve", strconv.FormatUint(uint64(tick), 10),
+		strconv.Itoa(int(core)), strconv.FormatUint(uint64(page), 10),
+		strconv.FormatUint(uint64(response), 10)})
+}
+
+func (o *csvObserver) OnFetch(core hbmsim.CoreID, page hbmsim.PageID, tick hbmsim.Tick) {
+	o.w.Write([]string{"fetch", strconv.FormatUint(uint64(tick), 10),
+		strconv.Itoa(int(core)), strconv.FormatUint(uint64(page), 10), ""})
+}
+
+func (o *csvObserver) OnEvict(page hbmsim.PageID, tick hbmsim.Tick) {
+	o.w.Write([]string{"evict", strconv.FormatUint(uint64(tick), 10),
+		"", strconv.FormatUint(uint64(page), 10), ""})
+}
+
+// runWithEventLog drives a stepwise simulation with a CSV event observer
+// attached.
+func runWithEventLog(cfg hbmsim.Config, wl *hbmsim.Workload, path string) (*hbmsim.Result, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"event", "tick", "core", "page", "response"}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	sim, err := hbmsim.NewSim(cfg, wl)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	sim.SetObserver(&csvObserver{w: w})
+	for sim.Step() {
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return sim.Result(), f.Close()
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "hbmsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hbmsim"
+)
+
+func TestGenerateAllKinds(t *testing.T) {
+	for _, gen := range []string{"sort", "spgemm", "densemm", "stream", "adversarial", "uniform", "zipf"} {
+		wl, err := generate(gen, 2, 64, 64, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		if wl.TotalRefs() == 0 {
+			t.Fatalf("%s: empty workload", gen)
+		}
+	}
+	if _, err := generate("bogus", 2, 64, 64, 1); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+}
+
+func TestLoadWorkloadModes(t *testing.T) {
+	if _, err := loadWorkload("", "", 1, 1, 64, 1); err == nil {
+		t.Fatal("neither -trace nor -gen should be an error")
+	}
+	if _, err := loadWorkload("x.hbmt", "sort", 1, 1, 64, 1); err == nil {
+		t.Fatal("both -trace and -gen should be an error")
+	}
+	wl, err := loadWorkload("", "adversarial", 2, 8, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "w.hbmt")
+	if err := hbmsim.WriteWorkload(path, wl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadWorkload(path, "", 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalRefs() != wl.TotalRefs() {
+		t.Fatal("trace file round trip lost refs")
+	}
+}

@@ -1,0 +1,172 @@
+// Command hbmsweep regenerates the paper's evaluation artifacts (figures,
+// tables, and ablations) from named experiments.
+//
+// Usage:
+//
+//	hbmsweep -exp fig2a                 # one experiment, default scale
+//	hbmsweep -exp all -full             # the whole suite at paper scale
+//	hbmsweep -list                      # list experiment ids
+//	hbmsweep -exp fig3 -csv out.csv     # also dump the first table as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"hbmsim/internal/experiments"
+	"hbmsim/internal/report"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id, comma-separated list, or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		full    = flag.Bool("full", false, "use paper-scale parameters (slow)")
+		seed    = flag.Int64("seed", 1, "random seed for workloads and policies")
+		workers = flag.Int("workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
+		csvPath = flag.String("csv", "", "write the experiments' tables as CSV to this file")
+		svgDir  = flag.String("svg", "", "write each figure's chart as <id>.svg into this directory")
+		chart   = flag.Bool("chart", true, "render ASCII charts for figures")
+		sortN   = flag.Int("sortn", 0, "override sort workload size")
+		spgemmN = flag.Int("spgemmn", 0, "override SpGEMM dimension")
+		threads = flag.String("threads", "", "override the thread-count axis, e.g. 8,32,128,200")
+		slots   = flag.String("k", "", "override the HBM-size axis, e.g. 1000,3000,5000")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "hbmsweep: -exp is required (try -list)")
+		os.Exit(2)
+	}
+
+	o := experiments.Default()
+	if *full {
+		o = experiments.Full()
+	}
+	o.Seed = *seed
+	o.Workers = *workers
+	if *sortN > 0 {
+		o.SortN = *sortN
+	}
+	if *spgemmN > 0 {
+		o.SpGEMMN = *spgemmN
+	}
+	if *threads != "" {
+		v, err := parseInts(*threads)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbmsweep: -threads: %v\n", err)
+			os.Exit(2)
+		}
+		o.Threads = v
+	}
+	if *slots != "" {
+		v, err := parseInts(*slots)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbmsweep: -k: %v\n", err)
+			os.Exit(2)
+		}
+		o.HBMSlots = v
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+
+	var csv *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbmsweep: %v\n", err)
+			os.Exit(1)
+		}
+		csv = f
+		defer csv.Close()
+	}
+
+	for _, id := range ids {
+		out, err := experiments.Run(strings.TrimSpace(id), o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbmsweep: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		printOutcome(out, *chart)
+		if csv != nil {
+			for _, t := range out.Tables {
+				if err := t.WriteCSV(csv); err != nil {
+					fmt.Fprintf(os.Stderr, "hbmsweep: writing csv: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		if *svgDir != "" && len(out.Series) > 0 {
+			if err := writeSVG(*svgDir, out); err != nil {
+				fmt.Fprintf(os.Stderr, "hbmsweep: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// writeSVG saves the experiment's chart as <dir>/<id>.svg.
+func writeSVG(dir string, out *experiments.Outcome) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, out.ID+".svg")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteSVG(f, out.ChartTitle, 640, 400, out.Series...); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func printOutcome(out *experiments.Outcome, chart bool) {
+	fmt.Printf("\n== %s ==\n", out.Title)
+	fmt.Printf("paper:    %s\n", out.PaperClaim)
+	fmt.Printf("measured: %s\n\n", out.Headline)
+	for _, t := range out.Tables {
+		if err := t.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "hbmsweep: rendering table: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if chart && len(out.Series) > 0 {
+		if err := report.Chart(os.Stdout, out.ChartTitle, 72, 18, out.Series...); err != nil {
+			fmt.Fprintf(os.Stderr, "hbmsweep: rendering chart: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts(" 8, 32 ,128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 8 || got[1] != 32 || got[2] != 128 {
+		t.Fatalf("parsed %v", got)
+	}
+	for _, bad := range []string{"", "a", "0", "-3", "1,,2"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

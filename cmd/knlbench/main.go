@@ -1,0 +1,50 @@
+// Command knlbench runs the §5 model-validation microbenchmarks (pointer
+// chasing and GLUPS) against the calibrated KNL machine model and checks
+// the four properties the paper validates on real hardware.
+//
+// Usage:
+//
+//	knlbench                    # all of table2a, table2b, fig6, properties
+//	knlbench -exp table2a
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hbmsim/internal/experiments"
+	"hbmsim/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "table2a,table2b,fig6,knl-properties", "comma-separated experiment ids")
+	chart := flag.Bool("chart", true, "render ASCII charts for figures")
+	flag.Parse()
+
+	o := experiments.Default()
+	for _, id := range strings.Split(*exp, ",") {
+		out, err := experiments.Run(strings.TrimSpace(id), o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "knlbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n== %s ==\n", out.Title)
+		fmt.Printf("paper:    %s\n", out.PaperClaim)
+		fmt.Printf("measured: %s\n\n", out.Headline)
+		for _, t := range out.Tables {
+			if err := t.Render(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "knlbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		if *chart && len(out.Series) > 0 {
+			if err := report.Chart(os.Stdout, out.ChartTitle, 72, 18, out.Series...); err != nil {
+				fmt.Fprintf(os.Stderr, "knlbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Command paperrepro runs the complete evaluation of "Automatic HBM
+// Management: Models and Algorithms" (SPAA 2022) — every figure, table,
+// and ablation — and prints paper-claim vs measured-result for each, in
+// the format EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	paperrepro                # default (laptop) scale, ~2-4 minutes
+//	paperrepro -full          # paper scale (hours)
+//	paperrepro -md            # emit Markdown (for EXPERIMENTS.md)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hbmsim/internal/experiments"
+	"hbmsim/internal/report"
+)
+
+// order lists experiments in the paper's presentation order.
+var order = []string{
+	"fig2a", "fig2b", "fig3", "fig4a", "fig4b", "fig5a", "fig5b",
+	"table1a", "table1b",
+	"table2a", "table2b", "fig6", "knl-properties",
+	"channels", "replacement", "permuters", "imbalance", "directmap",
+	"mapping", "offline", "augmentation", "latency", "missratio", "responsecdf",
+	"variance",
+}
+
+func main() {
+	var (
+		full     = flag.Bool("full", false, "paper-scale parameters (hours)")
+		markdown = flag.Bool("md", false, "emit Markdown instead of plain text")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	o := experiments.Default()
+	if *full {
+		o = experiments.Full()
+	}
+	o.Seed = *seed
+
+	fmt.Printf("Reproducing every table and figure (seed=%d, full=%v)\n", *seed, *full)
+	for _, id := range order {
+		start := time.Now()
+		out, err := experiments.Run(id, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperrepro: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if *markdown {
+			fmt.Printf("\n## %s — %s\n\n", out.ID, out.Title)
+			fmt.Printf("- **Paper:** %s\n", out.PaperClaim)
+			fmt.Printf("- **Measured:** %s\n", out.Headline)
+			fmt.Printf("- **Runtime:** %s\n\n", elapsed)
+			for _, t := range out.Tables {
+				renderMarkdown(t)
+			}
+		} else {
+			fmt.Printf("\n== %s (%s) ==\n", out.Title, elapsed)
+			fmt.Printf("paper:    %s\n", out.PaperClaim)
+			fmt.Printf("measured: %s\n\n", out.Headline)
+			for _, t := range out.Tables {
+				if err := t.Render(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Println()
+			}
+			if len(out.Series) > 0 {
+				if err := report.Chart(os.Stdout, out.ChartTitle, 72, 16, out.Series...); err != nil {
+					fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}
+
+// renderMarkdown prints a report.Table as a Markdown table.
+func renderMarkdown(t *report.Table) {
+	if t.Title != "" {
+		fmt.Printf("**%s**\n\n", t.Title)
+	}
+	fmt.Print("|")
+	for _, h := range t.Headers {
+		fmt.Printf(" %s |", h)
+	}
+	fmt.Print("\n|")
+	for range t.Headers {
+		fmt.Print("---|")
+	}
+	fmt.Println()
+	for _, row := range t.Rows() {
+		fmt.Print("|")
+		for _, c := range row {
+			fmt.Printf(" %s |", c)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}

@@ -1,0 +1,57 @@
+// Dynamic Priority tuning (Figure 5 / Table 1 shape): sweep the remap
+// interval T and chart the fairness/performance trade-off. Small T behaves
+// like random arbitration (fair, slower); huge T behaves like static
+// Priority (fast, starves threads). The paper recommends T >= 10k.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hbmsim"
+)
+
+func main() {
+	const (
+		p = 64
+		k = 1000
+		q = 1
+	)
+	wl, err := hbmsim.SpGEMMWorkload(p, hbmsim.SpGEMMConfig{N: 96, PageBytes: 64}, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(name string, cfg hbmsim.Config) {
+		cfg.HBMSlots, cfg.Channels, cfg.Seed = k, q, 2
+		res, err := hbmsim.Run(cfg, wl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Worst per-core starvation: the largest single response time.
+		fmt.Printf("%-22s %10d %12.2f %14.1f %12.0f\n",
+			name, res.Makespan, res.ResponseMean, res.Inconsistency, res.ResponseMax)
+	}
+
+	fmt.Printf("%-22s %10s %12s %14s %12s\n", "scheme", "makespan", "resp. mean", "inconsistency", "worst wait")
+	run("FIFO", hbmsim.Config{Arbiter: hbmsim.ArbiterFIFO})
+	run("Random", hbmsim.Config{Arbiter: hbmsim.ArbiterRandom})
+	for _, mult := range []int{1, 5, 10, 100} {
+		run(fmt.Sprintf("Dynamic T=%dk", mult), hbmsim.Config{
+			Arbiter:     hbmsim.ArbiterPriority,
+			Permuter:    hbmsim.PermuterDynamic,
+			RemapPeriod: hbmsim.Tick(mult * k),
+		})
+	}
+	for _, mult := range []int{1, 10} {
+		run(fmt.Sprintf("Cycle T=%dk", mult), hbmsim.Config{
+			Arbiter:     hbmsim.ArbiterPriority,
+			Permuter:    hbmsim.PermuterCycle,
+			RemapPeriod: hbmsim.Tick(mult * k),
+		})
+	}
+	run("Priority (static)", hbmsim.Config{Arbiter: hbmsim.ArbiterPriority})
+
+	fmt.Println("\nPick T in the plateau: makespan as good as static Priority, inconsistency")
+	fmt.Println("an order of magnitude lower — 'unambiguously better than both FIFO and Priority'.")
+}

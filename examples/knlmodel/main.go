@@ -1,0 +1,62 @@
+// KNL model: the §5 validation story without the hardware. The paper
+// measured Xeon Phi Knights Landing to show real HBM machines behave like
+// the HBM+DRAM model; this example runs the same two microbenchmarks —
+// pointer chasing (latency) and GLUPS (bandwidth) — against the calibrated
+// machine model and checks the four properties.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hbmsim"
+)
+
+func main() {
+	m := hbmsim.DefaultKNL()
+	const gib = uint64(1) << 30
+
+	fmt.Println("pointer chasing (ns/op):")
+	fmt.Printf("%10s %12s %12s %12s\n", "array", "flat DRAM", "flat HBM", "cache mode")
+	for _, b := range []uint64{1 * gib, 8 * gib, 32 * gib, 64 * gib} {
+		d, err := m.ChaseLatencyNS(b, hbmsim.KNLFlatDRAM)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := m.ChaseLatencyNS(b, hbmsim.KNLCache)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hbmCell := "      -"
+		if b <= 8*gib {
+			h, err := m.ChaseLatencyNS(b, hbmsim.KNLFlatHBM)
+			if err != nil {
+				log.Fatal(err)
+			}
+			hbmCell = fmt.Sprintf("%7.1f", h)
+		}
+		fmt.Printf("%8dGiB %12.1f %12s %12.1f\n", b/gib, d, hbmCell, c)
+	}
+
+	fmt.Println("\nGLUPS bandwidth (MiB/s, 272 threads):")
+	for _, b := range []uint64{8 * gib, 32 * gib} {
+		d, err := m.GLUPSBandwidthMiBs(b, m.Threads, hbmsim.KNLFlatDRAM)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := m.GLUPSBandwidthMiBs(b, m.Threads, hbmsim.KNLCache)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %2dGiB: DRAM %8.0f   cache-mode %8.0f\n", b/gib, d, c)
+	}
+
+	fmt.Println("\nmodel properties (§5):")
+	props, err := m.CheckProperties()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range props {
+		fmt.Printf("  P%d %-68s %v\n", p.ID, p.Description, p.Holds)
+	}
+}

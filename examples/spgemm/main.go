@@ -1,0 +1,55 @@
+// SpGEMM study (Figure 2a shape): sweep the thread count for a sparse
+// matrix-matrix multiplication workload and watch the FIFO/Priority
+// crossover — FIFO wins while HBM is plentiful, Priority wins (by a lot)
+// once threads contend for the far channel.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hbmsim"
+)
+
+func main() {
+	const (
+		dim     = 96   // matrix dimension (the paper uses 600)
+		density = 0.10 // ~10% of elements exist, as in the paper
+		k       = 1000 // HBM slots
+		q       = 1    // far channels
+	)
+	maxThreads := 96
+	wl, err := hbmsim.SpGEMMWorkload(maxThreads, hbmsim.SpGEMMConfig{
+		N: dim, Density: density, PageBytes: 64,
+	}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s — %d refs/core, %d pages/core\n\n",
+		wl.Name, wl.TotalRefs()/uint64(wl.Cores()), wl.UniquePages()/wl.Cores())
+
+	fmt.Println("threads |  FIFO/Priority makespan ratio  (>1 favours Priority)")
+	for _, p := range []int{4, 8, 16, 32, 64, 96} {
+		sub := wl.Subset(p)
+		fifo, err := hbmsim.Run(hbmsim.Config{
+			HBMSlots: k, Channels: q, Arbiter: hbmsim.ArbiterFIFO, Seed: 1,
+		}, sub)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prio, err := hbmsim.Run(hbmsim.Config{
+			HBMSlots: k, Channels: q, Arbiter: hbmsim.ArbiterPriority, Seed: 1,
+		}, sub)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ratio := float64(fifo.Makespan) / float64(prio.Makespan)
+		bar := ""
+		for i := 0.0; i < ratio*10; i++ {
+			bar += "#"
+		}
+		fmt.Printf("%7d | %6.3f %s\n", p, ratio, bar)
+	}
+	fmt.Println("\nSpGEMM is the paper's most promising case: it scales past 100 cores in the")
+	fmt.Println("literature, and that is exactly where Priority-style arbitration pays off.")
+}

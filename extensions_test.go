@@ -1,0 +1,152 @@
+package hbmsim_test
+
+import (
+	"testing"
+
+	"hbmsim"
+)
+
+// extensions_test.go covers the public API added beyond the paper's core
+// experiments: direct-mapped HBM, the clairvoyant baseline, and the
+// reuse-curve analysis.
+
+func TestParseMapping(t *testing.T) {
+	if m, err := hbmsim.ParseMapping("direct"); err != nil || m != hbmsim.MappingDirect {
+		t.Errorf("ParseMapping(direct): %v %v", m, err)
+	}
+	if m, err := hbmsim.ParseMapping("associative"); err != nil || m != hbmsim.MappingAssociative {
+		t.Errorf("ParseMapping(associative): %v %v", m, err)
+	}
+	if _, err := hbmsim.ParseMapping("nope"); err == nil {
+		t.Error("bad mapping accepted")
+	}
+}
+
+func TestDirectMappedThroughFacade(t *testing.T) {
+	wl, err := hbmsim.AdversarialWorkload(4, hbmsim.AdversarialConfig{Pages: 16, Reps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hbmsim.Run(hbmsim.Config{
+		HBMSlots: 128, Channels: 1, Mapping: hbmsim.MappingDirect, Seed: 5,
+	}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRefs != 4*16*4 {
+		t.Fatalf("refs: %d", res.TotalRefs)
+	}
+}
+
+func TestBeladyThroughFacade(t *testing.T) {
+	// Clairvoyant replacement must not lose to LRU on a looping workload
+	// that LRU thrashes: same arbitration, same k.
+	wl, err := hbmsim.AdversarialWorkload(2, hbmsim.AdversarialConfig{Pages: 24, Reps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 16
+	lru, err := hbmsim.Run(hbmsim.Config{
+		HBMSlots: k, Channels: 1, Arbiter: hbmsim.ArbiterPriority, Seed: 1,
+	}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bel, err := hbmsim.Run(hbmsim.Config{
+		HBMSlots: k, Channels: 1, Arbiter: hbmsim.ArbiterPriority,
+		Replacement: hbmsim.ReplaceBelady, Seed: 1,
+	}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bel.Misses > lru.Misses {
+		t.Errorf("Belady missed more than LRU: %d vs %d", bel.Misses, lru.Misses)
+	}
+	if bel.Makespan > lru.Makespan {
+		t.Errorf("Belady makespan above LRU's: %d vs %d", bel.Makespan, lru.Makespan)
+	}
+}
+
+func TestReuseCurveFacade(t *testing.T) {
+	tr := hbmsim.Trace{1, 2, 3, 1, 2, 3, 1, 2, 3}
+	c := hbmsim.ReuseCurveOf(tr)
+	if c.Misses(3) != 3 {
+		t.Errorf("k=3 should only cold-miss: %d", c.Misses(3))
+	}
+	if c.Misses(2) != 9 {
+		t.Errorf("k=2 should thrash the 3-page loop: %d", c.Misses(2))
+	}
+	curves := []hbmsim.ReuseCurve{c, hbmsim.ReuseCurveOf(hbmsim.Trace{7, 8, 7, 8})}
+	alloc, total, err := hbmsim.OptimalPartition(curves, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc[0] < 3 || alloc[1] < 2 {
+		t.Errorf("partition should satisfy both loops: %v", alloc)
+	}
+	if total != 5 {
+		t.Errorf("total misses: got %d, want 5 (cold only)", total)
+	}
+	if even := hbmsim.EvenPartition(curves, 4); even <= total {
+		t.Errorf("even split of 4 should be worse: %d vs %d", even, total)
+	}
+}
+
+func TestMaxServeGapExposed(t *testing.T) {
+	wl := hbmsim.NewWorkload("w", []hbmsim.Trace{{0}, {1}})
+	res, err := hbmsim.Run(hbmsim.Config{HBMSlots: 4, Channels: 1}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxServeGap == 0 {
+		t.Error("MaxServeGap not populated")
+	}
+}
+
+func TestBFSWorkloadFacade(t *testing.T) {
+	wl, err := hbmsim.BFSWorkload(2, hbmsim.BFSConfig{Vertices: 64, Degree: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := hbmsim.Run(hbmsim.Config{HBMSlots: 32, Channels: 1}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRefs != wl.TotalRefs() {
+		t.Fatalf("refs: %d vs %d", res.TotalRefs, wl.TotalRefs())
+	}
+}
+
+func TestMixedWorkloadFacade(t *testing.T) {
+	wl, err := hbmsim.MixedWorkload([]hbmsim.MixedSpec{
+		{Cores: 2, Name: "sort", Gen: func(seed int64) (hbmsim.Trace, error) {
+			w, err := hbmsim.SortWorkload(1, hbmsim.SortConfig{N: 128, PageBytes: 64}, seed)
+			if err != nil {
+				return nil, err
+			}
+			return w.Traces[0], nil
+		}},
+		{Cores: 1, Name: "stream", Gen: func(seed int64) (hbmsim.Trace, error) {
+			w, err := hbmsim.StreamWorkload(1, hbmsim.StreamConfig{N: 64, PageBytes: 64}, seed)
+			if err != nil {
+				return nil, err
+			}
+			return w.Traces[0], nil
+		}},
+	}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Cores() != 3 {
+		t.Fatalf("cores: %d", wl.Cores())
+	}
+	if err := wl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hbmsim.Run(hbmsim.DynamicPriorityConfig(64, 1), wl); err != nil {
+		t.Fatal(err)
+	}
+}

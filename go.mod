@@ -1,0 +1,3 @@
+module hbmsim
+
+go 1.22

@@ -1,0 +1,206 @@
+package hbmsim_test
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"hbmsim"
+)
+
+func TestRunEndToEnd(t *testing.T) {
+	wl, err := hbmsim.AdversarialWorkload(4, hbmsim.AdversarialConfig{Pages: 8, Reps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hbmsim.Run(hbmsim.Config{HBMSlots: 16, Channels: 1}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRefs != 4*8*4 {
+		t.Fatalf("refs: got %d, want 128", res.TotalRefs)
+	}
+	if res.Makespan == 0 {
+		t.Fatal("makespan zero")
+	}
+}
+
+func TestRunTraces(t *testing.T) {
+	res, err := hbmsim.RunTraces(hbmsim.Config{HBMSlots: 4, Channels: 1},
+		[][]hbmsim.PageID{{0, 1}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRefs != 4 {
+		t.Fatalf("refs: %d", res.TotalRefs)
+	}
+}
+
+func TestNewSimStepwise(t *testing.T) {
+	wl := hbmsim.NewWorkload("w", []hbmsim.Trace{{0, 1, 0}})
+	sim, err := hbmsim.NewSim(hbmsim.Config{HBMSlots: 4, Channels: 1}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sim.Step() {
+	}
+	if sim.Result().TotalRefs != 3 {
+		t.Fatal("stepwise run incomplete")
+	}
+}
+
+func TestDynamicPriorityConfig(t *testing.T) {
+	cfg := hbmsim.DynamicPriorityConfig(100, 2)
+	if cfg.HBMSlots != 100 || cfg.Channels != 2 {
+		t.Fatalf("sizing: %+v", cfg)
+	}
+	if cfg.Arbiter != hbmsim.ArbiterPriority || cfg.Permuter != hbmsim.PermuterDynamic {
+		t.Fatalf("policies: %+v", cfg)
+	}
+	if cfg.RemapPeriod != 1000 {
+		t.Fatalf("T: got %d, want 10k = 1000", cfg.RemapPeriod)
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	if k, err := hbmsim.ParseArbiter("priority"); err != nil || k != hbmsim.ArbiterPriority {
+		t.Errorf("ParseArbiter: %v %v", k, err)
+	}
+	if _, err := hbmsim.ParseArbiter("nope"); err == nil {
+		t.Error("bad arbiter accepted")
+	}
+	if k, err := hbmsim.ParsePermuter("cycle-reverse"); err != nil || k != hbmsim.PermuterCycleReverse {
+		t.Errorf("ParsePermuter: %v %v", k, err)
+	}
+	if _, err := hbmsim.ParsePermuter("nope"); err == nil {
+		t.Error("bad permuter accepted")
+	}
+	if k, err := hbmsim.ParseReplacement("clock"); err != nil || k != hbmsim.ReplaceClock {
+		t.Errorf("ParseReplacement: %v %v", k, err)
+	}
+	if _, err := hbmsim.ParseReplacement("nope"); err == nil {
+		t.Error("bad replacement accepted")
+	}
+}
+
+func TestWorkloadFileRoundTrip(t *testing.T) {
+	wl := hbmsim.NewWorkload("disk test", []hbmsim.Trace{{1, 2, 3}, {4, 5}})
+	dir := t.TempDir()
+	for _, name := range []string{"w.hbmt", "w.txt"} {
+		path := filepath.Join(dir, name)
+		if err := hbmsim.WriteWorkload(path, wl); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := hbmsim.ReadWorkload(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Name != wl.Name || got.TotalRefs() != wl.TotalRefs() || got.Cores() != wl.Cores() {
+			t.Fatalf("%s round trip mismatch: %+v", name, got)
+		}
+	}
+	if _, err := hbmsim.ReadWorkload(filepath.Join(dir, "missing.hbmt")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := hbmsim.WriteWorkload(filepath.Join(dir, "nodir", "x.hbmt"), wl); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}
+
+func TestTruncatedErrorSurfaces(t *testing.T) {
+	// k = q = 1 with two contending cores livelocks (documented model
+	// behaviour); the facade must surface the typed error.
+	res, err := hbmsim.RunTraces(hbmsim.Config{HBMSlots: 1, Channels: 1, MaxTicks: 300},
+		[][]hbmsim.PageID{{0}, {1}})
+	if err == nil {
+		t.Fatal("expected truncation")
+	}
+	var te *hbmsim.TruncatedError
+	if !errors.As(err, &te) {
+		t.Fatalf("wrong error type: %T", err)
+	}
+	if res == nil || !res.Truncated {
+		t.Fatal("partial result missing")
+	}
+}
+
+func TestGeneratorsExported(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func() (*hbmsim.Workload, error)
+	}{
+		{"sort", func() (*hbmsim.Workload, error) {
+			return hbmsim.SortWorkload(2, hbmsim.SortConfig{N: 64}, 1)
+		}},
+		{"spgemm", func() (*hbmsim.Workload, error) {
+			return hbmsim.SpGEMMWorkload(2, hbmsim.SpGEMMConfig{N: 12}, 1)
+		}},
+		{"densemm", func() (*hbmsim.Workload, error) {
+			return hbmsim.DenseMMWorkload(2, hbmsim.DenseMMConfig{N: 4}, 1)
+		}},
+		{"stream", func() (*hbmsim.Workload, error) {
+			return hbmsim.StreamWorkload(2, hbmsim.StreamConfig{N: 16}, 1)
+		}},
+		{"synthetic", func() (*hbmsim.Workload, error) {
+			return hbmsim.SyntheticWorkload(2, hbmsim.SyntheticConfig{Kind: hbmsim.SyntheticZipf, Refs: 32, Pages: 8}, 1)
+		}},
+	}
+	for _, c := range cases {
+		wl, err := c.gen()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if err := wl.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if wl.TotalRefs() == 0 {
+			t.Fatalf("%s: empty workload", c.name)
+		}
+	}
+}
+
+func TestImbalanceExported(t *testing.T) {
+	wl := hbmsim.NewWorkload("w", []hbmsim.Trace{{1, 1, 1, 1}, {2, 2, 2, 2}})
+	im, err := hbmsim.ImbalanceWorkload(wl, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(im.Traces[0]) != 2 || len(im.Traces[1]) != 4 {
+		t.Fatalf("imbalance: %d/%d", len(im.Traces[0]), len(im.Traces[1]))
+	}
+}
+
+func TestLowerBoundsExported(t *testing.T) {
+	wl := hbmsim.NewWorkload("w", []hbmsim.Trace{{0, 1, 2}})
+	b := hbmsim.LowerBounds(wl, 4, 1)
+	if b.Makespan == 0 {
+		t.Fatal("bound zero")
+	}
+	if hbmsim.CompetitiveRatio(2*b.Makespan, b) != 2 {
+		t.Fatal("ratio wrong")
+	}
+}
+
+func TestKNLExported(t *testing.T) {
+	m := hbmsim.DefaultKNL()
+	lat, err := m.ChaseLatencyNS(1<<30, hbmsim.KNLFlatDRAM)
+	if err != nil || lat <= 0 {
+		t.Fatalf("latency: %g, %v", lat, err)
+	}
+	bw, err := m.GLUPSBandwidthMiBs(1<<30, m.Threads, hbmsim.KNLFlatHBM)
+	if err != nil || bw <= 0 {
+		t.Fatalf("bandwidth: %g, %v", bw, err)
+	}
+	if _, err := m.ChaseLatencyNS(1<<40, hbmsim.KNLFlatHBM); err == nil {
+		t.Error("oversize flat-HBM accepted")
+	}
+	if hbmsim.KNLCache == hbmsim.KNLFlatDRAM {
+		t.Error("mode constants collide")
+	}
+}
+
+func TestVersionSet(t *testing.T) {
+	if hbmsim.Version == "" {
+		t.Fatal("version empty")
+	}
+}

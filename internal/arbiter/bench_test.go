@@ -1,0 +1,53 @@
+package arbiter
+
+import (
+	"testing"
+
+	"hbmsim/internal/model"
+)
+
+// benchArbiter measures steady-state push/pop throughput with a queue of
+// ~p outstanding requests, the simulator's working regime.
+func benchArbiter(b *testing.B, kind Kind) {
+	b.Helper()
+	const p = 256
+	a := MustNew(kind, p, 1)
+	for c := 0; c < p; c++ {
+		a.Push(model.Request{Core: model.CoreID(c), Seq: uint64(c)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	seq := uint64(p)
+	for i := 0; i < b.N; i++ {
+		r, ok := a.Pop()
+		if !ok {
+			b.Fatal("queue drained")
+		}
+		seq++
+		r.Seq = seq
+		a.Push(r)
+	}
+}
+
+func BenchmarkFIFOArbiter(b *testing.B)     { benchArbiter(b, FIFO) }
+func BenchmarkPriorityArbiter(b *testing.B) { benchArbiter(b, Priority) }
+func BenchmarkRandomArbiter(b *testing.B)   { benchArbiter(b, Random) }
+
+func BenchmarkPriorityRemap(b *testing.B) {
+	const p = 256
+	a := MustNew(Priority, p, 1)
+	for c := 0; c < p; c++ {
+		a.Push(model.Request{Core: model.CoreID(c), Seq: uint64(c)})
+	}
+	perm := MustNewPermuter(Dynamic, 2)
+	pri := make([]int32, p)
+	for i := range pri {
+		pri[i] = int32(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		perm.Permute(pri)
+		a.UpdatePriorities(pri)
+	}
+}

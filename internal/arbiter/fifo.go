@@ -1,0 +1,49 @@
+package arbiter
+
+import "hbmsim/internal/model"
+
+// fifoArbiter serves requests strictly in arrival order using a growable
+// ring buffer. This is the FCFS policy the paper shows to be
+// Ω(p)-competitive in the worst case.
+type fifoArbiter struct {
+	buf  []model.Request
+	head int
+	n    int
+}
+
+func newFIFO() *fifoArbiter {
+	return &fifoArbiter{buf: make([]model.Request, 16)}
+}
+
+func (f *fifoArbiter) Kind() Kind { return FIFO }
+
+func (f *fifoArbiter) Len() int { return f.n }
+
+func (f *fifoArbiter) UpdatePriorities([]int32) {}
+
+func (f *fifoArbiter) Push(r model.Request) {
+	if f.n == len(f.buf) {
+		f.grow()
+	}
+	f.buf[(f.head+f.n)%len(f.buf)] = r
+	f.n++
+}
+
+func (f *fifoArbiter) Pop() (model.Request, bool) {
+	if f.n == 0 {
+		return model.Request{}, false
+	}
+	r := f.buf[f.head]
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
+	return r, true
+}
+
+func (f *fifoArbiter) grow() {
+	nb := make([]model.Request, 2*len(f.buf))
+	for i := 0; i < f.n; i++ {
+		nb[i] = f.buf[(f.head+i)%len(f.buf)]
+	}
+	f.buf = nb
+	f.head = 0
+}

@@ -1,0 +1,91 @@
+package arbiter
+
+import "hbmsim/internal/model"
+
+// priorityArbiter serves the queued request whose core has the best
+// (lowest) priority rank, breaking rank ties by arrival order. It is a
+// binary min-heap keyed by (rank, seq); when the priority permutation is
+// rewritten (Dynamic/Cycle Priority), the heap is rebuilt in O(n), which is
+// cheap because the queue holds at most one request per core.
+type priorityArbiter struct {
+	pri  []int32 // pri[c] = rank of core c; rank 0 pops first
+	heap []model.Request
+}
+
+func newPriority(p int) *priorityArbiter {
+	pri := make([]int32, p)
+	for i := range pri {
+		pri[i] = int32(i) // identity permutation: static Priority
+	}
+	return &priorityArbiter{pri: pri}
+}
+
+func (a *priorityArbiter) Kind() Kind { return Priority }
+
+func (a *priorityArbiter) Len() int { return len(a.heap) }
+
+func (a *priorityArbiter) UpdatePriorities(pri []int32) {
+	copy(a.pri, pri)
+	// Heapify bottom-up.
+	for i := len(a.heap)/2 - 1; i >= 0; i-- {
+		a.siftDown(i)
+	}
+}
+
+// less orders requests by (rank, arrival seq).
+func (a *priorityArbiter) less(x, y model.Request) bool {
+	rx, ry := a.pri[x.Core], a.pri[y.Core]
+	if rx != ry {
+		return rx < ry
+	}
+	return x.Seq < y.Seq
+}
+
+func (a *priorityArbiter) Push(r model.Request) {
+	a.heap = append(a.heap, r)
+	a.siftUp(len(a.heap) - 1)
+}
+
+func (a *priorityArbiter) Pop() (model.Request, bool) {
+	if len(a.heap) == 0 {
+		return model.Request{}, false
+	}
+	top := a.heap[0]
+	last := len(a.heap) - 1
+	a.heap[0] = a.heap[last]
+	a.heap = a.heap[:last]
+	if last > 0 {
+		a.siftDown(0)
+	}
+	return top, true
+}
+
+func (a *priorityArbiter) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !a.less(a.heap[i], a.heap[parent]) {
+			return
+		}
+		a.heap[i], a.heap[parent] = a.heap[parent], a.heap[i]
+		i = parent
+	}
+}
+
+func (a *priorityArbiter) siftDown(i int) {
+	n := len(a.heap)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && a.less(a.heap[left], a.heap[smallest]) {
+			smallest = left
+		}
+		if right < n && a.less(a.heap[right], a.heap[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		a.heap[i], a.heap[smallest] = a.heap[smallest], a.heap[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,40 @@
+package arbiter
+
+import (
+	"math/rand"
+
+	"hbmsim/internal/model"
+)
+
+// randomArbiter pops a uniformly random queued request. This is the
+// limiting behaviour of Dynamic Priority as the remap interval T goes to 1:
+// every thread has the same expected wait, like FIFO, but without FIFO's
+// arrival-order head-of-line coupling.
+type randomArbiter struct {
+	reqs []model.Request
+	rng  *rand.Rand
+}
+
+func newRandom(src rand.Source) *randomArbiter {
+	return &randomArbiter{rng: rand.New(src)}
+}
+
+func (a *randomArbiter) Kind() Kind { return Random }
+
+func (a *randomArbiter) Len() int { return len(a.reqs) }
+
+func (a *randomArbiter) UpdatePriorities([]int32) {}
+
+func (a *randomArbiter) Push(r model.Request) { a.reqs = append(a.reqs, r) }
+
+func (a *randomArbiter) Pop() (model.Request, bool) {
+	n := len(a.reqs)
+	if n == 0 {
+		return model.Request{}, false
+	}
+	i := a.rng.Intn(n)
+	r := a.reqs[i]
+	a.reqs[i] = a.reqs[n-1]
+	a.reqs = a.reqs[:n-1]
+	return r, true
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hbmsim/internal/arbiter"
+	"hbmsim/internal/model"
+	"hbmsim/internal/replacement"
+)
+
+// benchWorkload builds a contended synthetic workload: p cores, each
+// cycling through its own page set with some random jumps, so both hit and
+// miss paths are exercised.
+func benchWorkload(p, pagesPerCore, refsPerCore int) [][]model.PageID {
+	ts := make([][]model.PageID, p)
+	rng := rand.New(rand.NewSource(1))
+	for i := range ts {
+		tr := make([]model.PageID, refsPerCore)
+		pos := 0
+		for j := range tr {
+			if rng.Intn(8) == 0 {
+				pos = rng.Intn(pagesPerCore)
+			} else {
+				pos = (pos + 1) % pagesPerCore
+			}
+			tr[j] = model.PageID(i*pagesPerCore + pos)
+		}
+		ts[i] = tr
+	}
+	return ts
+}
+
+// benchSim measures simulator throughput in serves (refs) per second.
+func benchSim(b *testing.B, cfg Config) {
+	b.Helper()
+	ts := benchWorkload(32, 256, 4096)
+	var refs uint64
+	for _, tr := range ts {
+		refs += uint64(len(tr))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, ts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TotalRefs != refs {
+			b.Fatal("incomplete run")
+		}
+	}
+	b.ReportMetric(float64(refs)*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+}
+
+func BenchmarkSimFIFO(b *testing.B) {
+	benchSim(b, Config{HBMSlots: 2048, Channels: 1, Arbiter: arbiter.FIFO})
+}
+
+func BenchmarkSimPriority(b *testing.B) {
+	benchSim(b, Config{HBMSlots: 2048, Channels: 1, Arbiter: arbiter.Priority})
+}
+
+func BenchmarkSimDynamicPriority(b *testing.B) {
+	benchSim(b, Config{
+		HBMSlots: 2048, Channels: 1,
+		Arbiter: arbiter.Priority, Permuter: arbiter.Dynamic, RemapPeriod: 20480,
+	})
+}
+
+func BenchmarkSimRandomArbiter(b *testing.B) {
+	benchSim(b, Config{HBMSlots: 2048, Channels: 1, Arbiter: arbiter.Random})
+}
+
+func BenchmarkSimDirectMapped(b *testing.B) {
+	benchSim(b, Config{HBMSlots: 2048, Channels: 1, Mapping: MappingDirect})
+}
+
+func BenchmarkSimClockReplacement(b *testing.B) {
+	benchSim(b, Config{HBMSlots: 2048, Channels: 1, Replacement: replacement.Clock})
+}
+
+func BenchmarkSimEightChannels(b *testing.B) {
+	benchSim(b, Config{HBMSlots: 2048, Channels: 8})
+}

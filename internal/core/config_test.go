@@ -1,0 +1,46 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestConfigJSONRoundTrip: configurations are plain data (string-valued
+// policy kinds, integer sizes), so external tooling can serialise them.
+func TestConfigJSONRoundTrip(t *testing.T) {
+	in := Config{
+		HBMSlots:     1000,
+		Channels:     2,
+		Arbiter:      "priority",
+		Replacement:  "lru",
+		Mapping:      MappingDirect,
+		Permuter:     "dynamic",
+		RemapPeriod:  10000,
+		FetchLatency: 3,
+		Seed:         42,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Config
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", in, out)
+	}
+	// A deserialised config must drive a simulation directly.
+	if _, err := Run(out, traces([]int{0, 1, 0})); err != nil {
+		t.Fatalf("deserialised config rejected: %v", err)
+	}
+}
+
+// TestConfigZeroValueRuns: the zero Config plus sizes runs with documented
+// defaults (FIFO, LRU, associative, unit latency).
+func TestConfigZeroValueRuns(t *testing.T) {
+	res := mustRun(t, Config{HBMSlots: 4, Channels: 1}, traces([]int{0, 1}))
+	if res.TotalRefs != 2 {
+		t.Fatalf("refs: %d", res.TotalRefs)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"hbmsim/internal/arbiter"
+	"hbmsim/internal/model"
+	"hbmsim/internal/replacement"
+)
+
+// golden_test.go pins exact outputs for fixed seeds: the simulator is
+// fully deterministic, so any change to these numbers means the tick
+// semantics changed — which must be a conscious decision, because every
+// experiment in EXPERIMENTS.md depends on them.
+
+// goldenWorkload is a small contended cyclic workload.
+func goldenWorkload() [][]model.PageID {
+	const p, pages, reps = 6, 16, 8
+	ts := make([][]model.PageID, p)
+	for i := range ts {
+		tr := make([]model.PageID, 0, pages*reps)
+		for r := 0; r < reps; r++ {
+			for pg := 0; pg < pages; pg++ {
+				tr = append(tr, model.PageID(i*100+pg))
+			}
+		}
+		ts[i] = tr
+	}
+	return ts
+}
+
+func TestGoldenMakespans(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want model.Tick
+	}{
+		{
+			"fifo-lru",
+			Config{HBMSlots: 24, Channels: 1, Arbiter: arbiter.FIFO, Seed: 7},
+			769, // all 768 misses serialised over q=1, plus the final serve
+
+		},
+		{
+			"priority-lru",
+			Config{HBMSlots: 24, Channels: 1, Arbiter: arbiter.Priority, Seed: 7},
+			769, // k too small even for one core's footprint + pollution:
+			// Priority cannot create hits either, and both policies
+			// saturate the channel identically
+
+		},
+		{
+			"priority-cycle",
+			Config{HBMSlots: 24, Channels: 1, Arbiter: arbiter.Priority,
+				Permuter: arbiter.Cycle, RemapPeriod: 48, Seed: 7},
+			776,
+		},
+		{
+			"fifo-clock-q2",
+			Config{HBMSlots: 24, Channels: 2, Arbiter: arbiter.FIFO,
+				Replacement: replacement.Clock, Seed: 7},
+			447,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := Run(c.cfg, goldenWorkload())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.want == 0 {
+				t.Fatalf("record golden value: makespan=%d hits=%d evictions=%d",
+					res.Makespan, res.Hits, res.Evictions)
+			}
+			if res.Makespan != c.want {
+				t.Errorf("makespan drifted: got %d, want %d — tick semantics changed?",
+					res.Makespan, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"hbmsim/internal/arbiter"
+	"hbmsim/internal/model"
+)
+
+func TestFetchLatencyValidation(t *testing.T) {
+	cfg := Config{HBMSlots: 4, Channels: 1, FetchLatency: -1}
+	if err := cfg.Validate(1); err == nil {
+		t.Fatal("negative fetch latency accepted")
+	}
+	// Zero selects the default of 1.
+	if got := (Config{}).withDefaults().FetchLatency; got != 1 {
+		t.Fatalf("default fetch latency: %d", got)
+	}
+}
+
+// TestFetchLatencySingleCore: with latency L and an idle channel, each
+// cold miss takes L+1 ticks (grant at request tick, land L-1 later, serve
+// one tick after landing).
+func TestFetchLatencySingleCore(t *testing.T) {
+	for _, L := range []int{1, 2, 3, 5} {
+		res := mustRun(t, Config{HBMSlots: 8, Channels: 1, FetchLatency: L},
+			traces([]int{0, 1, 2}))
+		want := 3 * (L + 1)
+		if int(res.Makespan) != want {
+			t.Errorf("L=%d: makespan %d, want %d", L, res.Makespan, want)
+		}
+		if res.ResponseMean != float64(L+1) {
+			t.Errorf("L=%d: response mean %g, want %d", L, res.ResponseMean, L+1)
+		}
+	}
+}
+
+// TestFetchLatencyPipelined: the channels stay pipelined — with q=1 and
+// L=3, two cores' fetches overlap in flight: grants at ticks 1 and 2,
+// landings at 3 and 4, serves at 4 and 5.
+func TestFetchLatencyPipelined(t *testing.T) {
+	res := mustRun(t, Config{HBMSlots: 8, Channels: 1, FetchLatency: 3},
+		traces([]int{0}, []int{1}))
+	if res.Makespan != 5 {
+		t.Fatalf("makespan: got %d, want 5 (pipelined)", res.Makespan)
+	}
+	if res.PerCore[0].Completion != 4 || res.PerCore[1].Completion != 5 {
+		t.Fatalf("completions: %d/%d, want 4/5",
+			res.PerCore[0].Completion, res.PerCore[1].Completion)
+	}
+}
+
+// TestFetchLatencyHitsUnaffected: HBM hits never touch the far channel,
+// so their response time stays 1 at any latency.
+func TestFetchLatencyHitsUnaffected(t *testing.T) {
+	res := mustRun(t, Config{HBMSlots: 8, Channels: 1, FetchLatency: 4},
+		traces([]int{0, 0, 0, 0}))
+	if res.Hits != 3 {
+		t.Fatalf("hits: %d", res.Hits)
+	}
+	// Miss (w=5) + 3 hits (w=1): serves at ticks 5, 6, 7, 8.
+	if res.Makespan != 8 {
+		t.Fatalf("makespan: got %d, want 8", res.Makespan)
+	}
+}
+
+// TestFetchLatencyConservation: invariants hold under latency for both
+// mappings and arbiters.
+func TestFetchLatencyConservation(t *testing.T) {
+	ts := traces(
+		[]int{0, 1, 2, 3, 0, 1, 2, 3, 4, 5},
+		[]int{0, 1, 2, 0, 1, 2},
+		[]int{7, 8, 7, 8, 7, 8},
+	)
+	for _, mapping := range Mappings() {
+		for _, arb := range []arbiter.Kind{arbiter.FIFO, arbiter.Priority} {
+			cfg := Config{HBMSlots: 6, Channels: 2, FetchLatency: 4, Arbiter: arb, Mapping: mapping}
+			res := mustRun(t, cfg, ts)
+			checkInvariants(t, cfg, ts, res)
+		}
+	}
+}
+
+// TestFetchLatencySlowsMakespan: more latency can only hurt.
+func TestFetchLatencySlowsMakespan(t *testing.T) {
+	ts := traces([]int{0, 1, 2, 3, 0, 1, 2, 3}, []int{5, 6, 5, 6})
+	var prev model.Tick
+	for _, L := range []int{1, 2, 4, 8} {
+		res := mustRun(t, Config{HBMSlots: 4, Channels: 1, FetchLatency: L}, ts)
+		if res.Makespan < prev {
+			t.Fatalf("L=%d: makespan %d below L-smaller run %d", L, res.Makespan, prev)
+		}
+		prev = res.Makespan
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"hbmsim/internal/arbiter"
+	"hbmsim/internal/model"
+)
+
+func TestMappingValidation(t *testing.T) {
+	cfg := Config{HBMSlots: 4, Channels: 1, Mapping: "bogus"}
+	if err := cfg.Validate(1); err == nil {
+		t.Fatal("unknown mapping accepted")
+	}
+	if _, err := New(cfg, traces([]int{0})); err == nil {
+		t.Fatal("New accepted unknown mapping")
+	}
+	if len(Mappings()) != 2 {
+		t.Fatalf("mappings: %v", Mappings())
+	}
+}
+
+func TestDirectMappedRunCompletes(t *testing.T) {
+	ts := traces(
+		[]int{0, 1, 2, 0, 1, 2, 3, 4},
+		[]int{0, 1, 2, 3, 0, 1},
+		[]int{5, 6, 7, 5, 6, 7},
+	)
+	res := mustRun(t, Config{HBMSlots: 64, Channels: 1, Mapping: MappingDirect}, ts)
+	if res.TotalRefs != 20 {
+		t.Fatalf("refs: %d", res.TotalRefs)
+	}
+	if res.Hits+res.Misses != res.TotalRefs {
+		t.Fatal("conservation broken under direct mapping")
+	}
+}
+
+func TestDirectMappedSingleCoreNoConflictsMatchesAssoc(t *testing.T) {
+	// With k far larger than the page universe, conflicts are unlikely
+	// and direct-mapped behaviour approaches fully-associative: both see
+	// only cold misses.
+	ts := traces([]int{0, 1, 2, 3, 0, 1, 2, 3})
+	assoc := mustRun(t, Config{HBMSlots: 256, Channels: 1}, ts)
+	direct := mustRun(t, Config{HBMSlots: 256, Channels: 1, Mapping: MappingDirect}, ts)
+	if assoc.Misses != 4 {
+		t.Fatalf("assoc misses: %d", assoc.Misses)
+	}
+	// 4 pages into 256 slots: collisions possible but rare; allow one.
+	if direct.Misses > assoc.Misses+2 {
+		t.Fatalf("direct misses %d far above assoc %d", direct.Misses, assoc.Misses)
+	}
+}
+
+func TestDirectMappedConflictsCauseRefetch(t *testing.T) {
+	// Squeeze many pages into very few slots: conflicts must show up as
+	// extra fetches, and the run must still terminate.
+	ts := traces([]int{0, 1, 2, 3, 4, 5, 6, 7, 0, 1, 2, 3, 4, 5, 6, 7})
+	direct := mustRun(t, Config{HBMSlots: 4, Channels: 1, Mapping: MappingDirect}, ts)
+	if direct.Evictions == 0 {
+		t.Fatal("8 pages in 4 slots must displace")
+	}
+	if direct.Fetches < direct.Misses {
+		t.Fatal("fetch accounting broken")
+	}
+}
+
+// TestCorollary1Shape: on a contended multi-core workload, a
+// constant-factor larger direct-mapped HBM under Priority performs within
+// a small constant of the fully-associative one (Corollary 1).
+func TestCorollary1Shape(t *testing.T) {
+	const p = 8
+	ts := make([][]model.PageID, p)
+	for i := range ts {
+		tr := make([]model.PageID, 0, 200)
+		for r := 0; r < 10; r++ {
+			for pg := 0; pg < 20; pg++ {
+				tr = append(tr, model.PageID(i*1000+pg))
+			}
+		}
+		ts[i] = tr
+	}
+	const k = 40 // 1/4 of the 160 unique pages
+	assoc := mustRun(t, Config{HBMSlots: k, Channels: 1, Arbiter: arbiter.Priority}, ts)
+	direct := mustRun(t, Config{HBMSlots: 4 * k, Channels: 1, Arbiter: arbiter.Priority, Mapping: MappingDirect}, ts)
+	ratio := float64(direct.Makespan) / float64(assoc.Makespan)
+	if ratio > 3 {
+		t.Fatalf("direct-mapped (4k slots) makespan %.2fx associative's — not O(1)", ratio)
+	}
+}
+
+func TestDirectMappedDeterministic(t *testing.T) {
+	ts := traces([]int{0, 1, 2, 3, 4, 0, 1, 2}, []int{0, 1, 2, 3})
+	cfg := Config{HBMSlots: 8, Channels: 1, Mapping: MappingDirect, Seed: 9}
+	a := mustRun(t, cfg, ts)
+	b := mustRun(t, cfg, ts)
+	if a.Makespan != b.Makespan || a.Hits != b.Hits || a.Evictions != b.Evictions {
+		t.Fatalf("direct-mapped runs diverge: %+v vs %+v", a, b)
+	}
+}
+
+func TestMaxServeGap(t *testing.T) {
+	// Two cores, q=1: core 1's first serve happens at tick 3, so its max
+	// gap is 3; core 0 serves at tick 2 (gap 2).
+	res := mustRun(t, Config{HBMSlots: 8, Channels: 1}, traces([]int{0}, []int{1}))
+	if res.PerCore[0].MaxServeGap != 2 {
+		t.Errorf("core 0 gap: got %d, want 2", res.PerCore[0].MaxServeGap)
+	}
+	if res.PerCore[1].MaxServeGap != 3 {
+		t.Errorf("core 1 gap: got %d, want 3", res.PerCore[1].MaxServeGap)
+	}
+	if res.MaxServeGap != 3 {
+		t.Errorf("overall gap: got %d, want 3", res.MaxServeGap)
+	}
+}
+
+func TestMaxServeGapSequentialHits(t *testing.T) {
+	// One core, all hits after the first fetch: serves at ticks 2,3,4 —
+	// max gap is the cold start (2).
+	res := mustRun(t, Config{HBMSlots: 8, Channels: 1}, traces([]int{0, 0, 0}))
+	if res.MaxServeGap != 2 {
+		t.Errorf("gap: got %d, want 2", res.MaxServeGap)
+	}
+}

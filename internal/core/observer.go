@@ -1,0 +1,23 @@
+package core
+
+import "hbmsim/internal/model"
+
+// Observer receives simulation events as they happen, letting callers
+// build custom metrics (timelines, per-page heat maps, fairness indices)
+// without forking the simulator. All callbacks run synchronously on the
+// simulation goroutine; they must not retain the arguments beyond the
+// call and must be cheap, since they sit on the hot path.
+type Observer interface {
+	// OnServe fires when a core's current reference is served from HBM.
+	// response is the reference's response time in ticks (1 for a hit).
+	OnServe(core model.CoreID, page model.PageID, tick model.Tick, response model.Tick)
+	// OnFetch fires when a far channel moves a page from DRAM into HBM.
+	OnFetch(core model.CoreID, page model.PageID, tick model.Tick)
+	// OnEvict fires when a page leaves HBM (replacement-policy eviction
+	// or direct-mapped displacement).
+	OnEvict(page model.PageID, tick model.Tick)
+}
+
+// SetObserver installs an observer for subsequent Steps; nil removes it.
+// Observers do not affect simulation results.
+func (s *Sim) SetObserver(o Observer) { s.obs = o }

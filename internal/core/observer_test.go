@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"hbmsim/internal/model"
+)
+
+// recorder collects every event for cross-checking against the Result.
+type recorder struct {
+	serves, fetches, evicts int
+	hitServes               int
+	lastTick                model.Tick
+	ordered                 bool
+}
+
+func newRecorder() *recorder { return &recorder{ordered: true} }
+
+func (r *recorder) note(t model.Tick) {
+	if t < r.lastTick {
+		r.ordered = false
+	}
+	r.lastTick = t
+}
+
+func (r *recorder) OnServe(_ model.CoreID, _ model.PageID, t, w model.Tick) {
+	r.serves++
+	if w == 1 {
+		r.hitServes++
+	}
+	r.note(t)
+}
+func (r *recorder) OnFetch(_ model.CoreID, _ model.PageID, t model.Tick) {
+	r.fetches++
+	r.note(t)
+}
+func (r *recorder) OnEvict(_ model.PageID, t model.Tick) {
+	r.evicts++
+	r.note(t)
+}
+
+func TestObserverEventsMatchResult(t *testing.T) {
+	ts := traces(
+		[]int{0, 1, 2, 0, 1, 2, 3},
+		[]int{0, 1, 0, 1},
+	)
+	s, err := New(Config{HBMSlots: 4, Channels: 1}, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := newRecorder()
+	s.SetObserver(rec)
+	for s.Step() {
+	}
+	res := s.Result()
+	if uint64(rec.serves) != res.TotalRefs {
+		t.Errorf("serve events %d != refs %d", rec.serves, res.TotalRefs)
+	}
+	if uint64(rec.hitServes) != res.Hits {
+		t.Errorf("hit events %d != hits %d", rec.hitServes, res.Hits)
+	}
+	if uint64(rec.fetches) != res.Fetches {
+		t.Errorf("fetch events %d != fetches %d", rec.fetches, res.Fetches)
+	}
+	if uint64(rec.evicts) != res.Evictions {
+		t.Errorf("evict events %d != evictions %d", rec.evicts, res.Evictions)
+	}
+	if !rec.ordered {
+		t.Error("events arrived out of tick order")
+	}
+}
+
+func TestObserverDirectMapped(t *testing.T) {
+	ts := traces([]int{0, 1, 2, 3, 4, 5, 6, 7, 0, 1})
+	s, err := New(Config{HBMSlots: 4, Channels: 1, Mapping: MappingDirect}, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := newRecorder()
+	s.SetObserver(rec)
+	for s.Step() {
+	}
+	res := s.Result()
+	if uint64(rec.evicts) != res.Evictions {
+		t.Errorf("displacement events %d != evictions %d", rec.evicts, res.Evictions)
+	}
+	if rec.evicts == 0 {
+		t.Error("expected direct-mapped displacements")
+	}
+}
+
+func TestObserverDoesNotChangeResults(t *testing.T) {
+	ts := traces([]int{0, 1, 2, 0, 1, 2}, []int{3, 4, 3, 4})
+	cfg := Config{HBMSlots: 3, Channels: 1, Seed: 3}
+	plain := mustRun(t, cfg, ts)
+
+	s, err := New(cfg, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetObserver(newRecorder())
+	for s.Step() {
+	}
+	observed := s.Result()
+	if plain.Makespan != observed.Makespan || plain.Hits != observed.Hits {
+		t.Fatalf("observer changed results: %v vs %v", plain, observed)
+	}
+}
+
+func TestSetObserverNil(t *testing.T) {
+	ts := traces([]int{0, 1})
+	s, err := New(Config{HBMSlots: 4, Channels: 1}, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetObserver(newRecorder())
+	s.SetObserver(nil) // removing must not panic later
+	for s.Step() {
+	}
+}

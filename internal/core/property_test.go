@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hbmsim/internal/arbiter"
+	"hbmsim/internal/model"
+	"hbmsim/internal/replacement"
+)
+
+// genWorkload derives a small random disjoint workload from fuzz input.
+func genWorkload(rng *rand.Rand) [][]model.PageID {
+	p := 1 + rng.Intn(6)
+	out := make([][]model.PageID, p)
+	for i := range out {
+		n := rng.Intn(40)
+		pages := 1 + rng.Intn(8)
+		tr := make([]model.PageID, n)
+		for j := range tr {
+			tr[j] = model.PageID(i*100 + rng.Intn(pages))
+		}
+		out[i] = tr
+	}
+	return out
+}
+
+// genConfig derives a random valid configuration from fuzz input.
+func genConfig(rng *rand.Rand) Config {
+	arbs := arbiter.Kinds()
+	repls := replacement.Kinds()
+	perms := arbiter.PermuterKinds()
+	q := 1 + rng.Intn(3)
+	k := q + rng.Intn(12)
+	mapping := MappingAssociative
+	if rng.Intn(3) == 0 {
+		mapping = MappingDirect
+	}
+	return Config{
+		HBMSlots:     k,
+		Channels:     q,
+		Arbiter:      arbs[rng.Intn(len(arbs))],
+		Replacement:  repls[rng.Intn(len(repls))],
+		Permuter:     perms[rng.Intn(len(perms))],
+		Mapping:      mapping,
+		RemapPeriod:  model.Tick(rng.Intn(20)),
+		FetchLatency: 1 + rng.Intn(4),
+		Seed:         rng.Int63(),
+		MaxTicks:     200000, // bound pathological livelocks in tiny configs
+	}
+}
+
+// checkInvariants asserts the conservation laws every finished run obeys.
+func checkInvariants(t *testing.T, cfg Config, ts [][]model.PageID, res *Result) {
+	t.Helper()
+	var totalRefs uint64
+	maxLen := 0
+	unique := map[model.PageID]struct{}{}
+	for _, tr := range ts {
+		totalRefs += uint64(len(tr))
+		if len(tr) > maxLen {
+			maxLen = len(tr)
+		}
+		for _, pg := range tr {
+			unique[pg] = struct{}{}
+		}
+	}
+
+	if res.TotalRefs != totalRefs {
+		t.Fatalf("refs served %d != refs in workload %d", res.TotalRefs, totalRefs)
+	}
+	if res.Hits+res.Misses != res.TotalRefs {
+		t.Fatalf("hits %d + misses %d != refs %d", res.Hits, res.Misses, res.TotalRefs)
+	}
+	var perCoreRefs, perCoreHits uint64
+	for i, c := range res.PerCore {
+		perCoreRefs += c.Refs
+		perCoreHits += c.Hits
+		if c.Refs != uint64(len(ts[i])) {
+			t.Fatalf("core %d served %d of %d refs", i, c.Refs, len(ts[i]))
+		}
+		if c.Refs > 0 && c.ResponseMean < 1 {
+			t.Fatalf("core %d response mean %g < 1", i, c.ResponseMean)
+		}
+		if c.Completion > res.Makespan {
+			t.Fatalf("core %d completion %d > makespan %d", i, c.Completion, res.Makespan)
+		}
+	}
+	if perCoreRefs != res.TotalRefs || perCoreHits != res.Hits {
+		t.Fatalf("per-core sums diverge: refs %d/%d hits %d/%d",
+			perCoreRefs, res.TotalRefs, perCoreHits, res.Hits)
+	}
+	if res.Fetches < res.Misses {
+		t.Fatalf("fetches %d < misses %d (every miss crosses the channel)", res.Fetches, res.Misses)
+	}
+	if res.Evictions > res.Fetches {
+		t.Fatalf("evictions %d > fetches %d", res.Evictions, res.Fetches)
+	}
+	if totalRefs > 0 && res.ResponseMean < 1 {
+		t.Fatalf("response mean %g < 1", res.ResponseMean)
+	}
+	// Makespan lower bounds: the longest trace needs one tick per ref;
+	// every unique page crosses a channel once.
+	if res.Makespan < model.Tick(maxLen) {
+		t.Fatalf("makespan %d below serial bound %d", res.Makespan, maxLen)
+	}
+	coldLB := (uint64(len(unique)) + uint64(cfg.Channels) - 1) / uint64(cfg.Channels)
+	if totalRefs > 0 && uint64(res.Makespan) < coldLB {
+		t.Fatalf("makespan %d below cold-miss bound %d", res.Makespan, coldLB)
+	}
+	if res.Misses < uint64(len(unique)) && totalRefs > 0 {
+		t.Fatalf("misses %d below unique pages %d (cold start)", res.Misses, len(unique))
+	}
+}
+
+// TestPropertyConservation fuzzes configurations and workloads, checking
+// the invariants on every completed run.
+func TestPropertyConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ts := genWorkload(rng)
+		cfg := genConfig(rng)
+		res, err := Run(cfg, ts)
+		if err != nil {
+			// Truncation (livelock in a tiny config) is legal; anything
+			// else is a bug.
+			var te *TruncatedError
+			if !asTruncated(err, &te) {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return true
+		}
+		checkInvariants(t, cfg, ts, res)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func asTruncated(err error, te **TruncatedError) bool {
+	t, ok := err.(*TruncatedError)
+	if ok {
+		*te = t
+	}
+	return ok
+}
+
+// TestPropertyDeterminism: identical configuration and workload give
+// byte-identical results.
+func TestPropertyDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ts := genWorkload(rng)
+		cfg := genConfig(rng)
+		r1, e1 := Run(cfg, ts)
+		r2, e2 := Run(cfg, ts)
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatalf("seed %d: error mismatch %v vs %v", seed, e1, e2)
+		}
+		r1.Hist, r2.Hist = nil, nil
+		if !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("seed %d: results diverge:\n%+v\n%+v", seed, r1, r2)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyHitResponseIsOne: with histogram enabled, bucket 1 holds at
+// least the hit count (hits have response time exactly 1) — and the miss
+// count equals refs whose response exceeded 1.
+func TestPropertyHitResponseIsOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ts := genWorkload(rng)
+		cfg := genConfig(rng)
+		cfg.CollectHistogram = true
+		res, err := Run(cfg, ts)
+		if err != nil {
+			return true
+		}
+		b := res.Hist.Buckets()
+		var ones uint64
+		if len(b) > 1 {
+			ones = b[1] // bucket 1 = {1}
+		}
+		if ones != res.Hits {
+			t.Fatalf("seed %d: histogram w=1 count %d != hits %d", seed, ones, res.Hits)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPriorityNeverSlowerThanSerialisedFIFOOnAdversarial mirrors the
+// paper's Figure 3 logic at miniature scale: on the cyclic trace with
+// k = 1/4 of unique pages, Priority's makespan beats FIFO's.
+func TestPriorityBeatsFIFOOnCyclicTrace(t *testing.T) {
+	const p, pages, reps = 16, 32, 16
+	ts := make([][]model.PageID, p)
+	for i := range ts {
+		tr := make([]model.PageID, 0, pages*reps)
+		for r := 0; r < reps; r++ {
+			for pg := 0; pg < pages; pg++ {
+				tr = append(tr, model.PageID(i*1000+pg))
+			}
+		}
+		ts[i] = tr
+	}
+	k := p * pages / 4
+	fifo := mustRun(t, Config{HBMSlots: k, Channels: 1, Arbiter: arbiter.FIFO}, ts)
+	prio := mustRun(t, Config{HBMSlots: k, Channels: 1, Arbiter: arbiter.Priority}, ts)
+	if fifo.Makespan < 2*prio.Makespan {
+		t.Fatalf("expected FIFO >> Priority on the adversarial trace: %d vs %d",
+			fifo.Makespan, prio.Makespan)
+	}
+	if fifo.Hits != 0 {
+		t.Fatalf("FIFO should never hit on the adversarial trace, got %d hits", fifo.Hits)
+	}
+}

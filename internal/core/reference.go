@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+
+	"hbmsim/internal/arbiter"
+	"hbmsim/internal/hbm"
+	"hbmsim/internal/model"
+	"hbmsim/internal/replacement"
+	"hbmsim/internal/stats"
+)
+
+// RunReference executes the same simulation as Run with a deliberately
+// naive implementation: every tick walks every core through the five steps
+// of §3.1 verbatim, with no event-driven bookkeeping. It exists as the
+// executable specification — Run's optimised active-set simulator must
+// produce bit-identical Results (see TestReferenceEquivalence) — and is
+// O(p) per tick, so use Run for real work.
+func RunReference(cfg Config, traces [][]model.PageID) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(len(traces)); err != nil {
+		return nil, err
+	}
+	var store hbm.Store
+	if cfg.Mapping == MappingDirect {
+		dm, err := hbm.NewDirectMapped(cfg.HBMSlots, cfg.Seed+4)
+		if err != nil {
+			return nil, err
+		}
+		store = dm
+	} else {
+		var pol replacement.Policy
+		if cfg.Replacement == replacement.Belady {
+			pol = replacement.NewBelady(traces)
+		} else {
+			var err error
+			pol, err = replacement.New(cfg.Replacement, cfg.Seed+1)
+			if err != nil {
+				return nil, err
+			}
+		}
+		as, err := hbm.NewAssoc(cfg.HBMSlots, pol)
+		if err != nil {
+			return nil, err
+		}
+		store = as
+	}
+	arb, err := arbiter.New(cfg.Arbiter, len(traces), cfg.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+	perm, err := arbiter.NewPermuter(cfg.Permuter, cfg.Seed+3)
+	if err != nil {
+		return nil, err
+	}
+
+	type refCore struct {
+		pos        int
+		reqTick    model.Tick
+		queued     bool
+		done       bool
+		resp       respAcc
+		completion model.Tick
+		lastServe  model.Tick
+		maxGap     model.Tick
+	}
+	cores := make([]refCore, len(traces))
+	pri := make([]int32, len(traces))
+	var total uint64
+	doneN := 0
+	for i, tr := range traces {
+		pri[i] = int32(i)
+		cores[i].reqTick = 1
+		if len(tr) == 0 {
+			cores[i].done = true
+			doneN++
+		}
+		total += uint64(len(tr))
+	}
+	capT := cfg.MaxTicks
+	if capT == 0 {
+		capT = 8*model.Tick(total+1) + 1024*model.Tick(len(traces)+cfg.HBMSlots+cfg.Channels)
+	}
+
+	var hist *stats.Histogram
+	if cfg.CollectHistogram {
+		hist = &stats.Histogram{}
+	}
+	var (
+		t         model.Tick
+		seq       uint64
+		makespan  model.Tick
+		fetches   uint64
+		evictions uint64
+		remaps    uint64
+		queueLen  stats.Welford
+		inflight  []arrival
+		truncated bool
+	)
+
+	for doneN < len(cores) {
+		if t >= capT {
+			truncated = true
+			break
+		}
+		t++
+
+		// Step 1: remap.
+		if cfg.RemapPeriod > 0 && t%cfg.RemapPeriod == 0 {
+			perm.Permute(pri)
+			arb.UpdatePriorities(pri)
+			remaps++
+		}
+
+		// Step 2: every waiting core whose page is absent queues it.
+		for i := range cores {
+			c := &cores[i]
+			if c.done || c.queued {
+				continue
+			}
+			page := traces[i][c.pos]
+			if !store.Contains(page) {
+				seq++
+				arb.Push(model.Request{Core: model.CoreID(i), Page: page, Issued: c.reqTick, Seq: seq})
+				c.queued = true
+			}
+		}
+
+		// Step 3: make room for this tick's landings.
+		var need int
+		if cfg.FetchLatency == 1 {
+			need = cfg.Channels
+			if n := arb.Len(); n < need {
+				need = n
+			}
+		} else {
+			for _, a := range inflight {
+				if a.land > t {
+					break
+				}
+				need++
+			}
+		}
+		evictions += uint64(len(store.EnsureRoom(need)))
+
+		// Step 4: serve every core whose page is resident.
+		for i := range cores {
+			c := &cores[i]
+			if c.done || c.queued {
+				continue
+			}
+			page := traces[i][c.pos]
+			if !store.Contains(page) {
+				continue // evicted between steps 2 and 4; re-queues next tick
+			}
+			store.Touch(page)
+			w := float64(t-c.reqTick) + 1
+			c.resp.record(w)
+			if gap := t - c.lastServe; gap > c.maxGap {
+				c.maxGap = gap
+			}
+			c.lastServe = t
+			if hist != nil {
+				hist.Add(uint64(w))
+			}
+			c.pos++
+			if c.pos == len(traces[i]) {
+				c.done = true
+				c.completion = t
+				doneN++
+			} else {
+				c.reqTick = t + 1
+			}
+			if t > makespan {
+				makespan = t
+			}
+		}
+
+		// Step 5: grant channels, then land due transfers.
+		for i := 0; i < cfg.Channels; i++ {
+			r, ok := arb.Pop()
+			if !ok {
+				break
+			}
+			inflight = append(inflight, arrival{
+				core: r.Core, page: r.Page,
+				land: t + model.Tick(cfg.FetchLatency) - 1,
+			})
+		}
+		landed := 0
+		for _, a := range inflight {
+			if a.land > t {
+				break
+			}
+			landed++
+			if _, displaced, err := store.Insert(a.page); err != nil {
+				panic(fmt.Sprintf("core: reference fetch failed at tick %d: %v", t, err))
+			} else if displaced {
+				evictions++
+			}
+			fetches++
+			cores[a.core].queued = false
+		}
+		if landed > 0 {
+			inflight = inflight[landed:]
+		}
+		queueLen.Add(float64(arb.Len()))
+	}
+
+	res := &Result{
+		Makespan:  makespan,
+		Fetches:   fetches,
+		Evictions: evictions,
+		Remaps:    remaps,
+		PerCore:   make([]CoreResult, len(cores)),
+		Hist:      hist,
+		Truncated: truncated,
+	}
+	var all stats.Welford
+	for i := range cores {
+		c := &cores[i]
+		w := c.resp.finalize()
+		all.Merge(w)
+		res.Hits += c.resp.hits
+		res.PerCore[i] = CoreResult{
+			Refs:         w.N(),
+			Hits:         c.resp.hits,
+			Completion:   c.completion,
+			ResponseMean: w.Mean(),
+			ResponseMax:  w.Max(),
+			MaxServeGap:  c.maxGap,
+		}
+		if c.maxGap > res.MaxServeGap {
+			res.MaxServeGap = c.maxGap
+		}
+	}
+	res.TotalRefs = all.N()
+	res.Misses = res.TotalRefs - res.Hits
+	res.ResponseMean = all.Mean()
+	res.Inconsistency = all.StddevPop()
+	res.ResponseMax = all.Max()
+	res.AvgQueueLen = queueLen.Mean()
+	if makespan > 0 {
+		res.ChannelUtilization = float64(fetches) / (float64(cfg.Channels) * float64(makespan))
+	}
+	if truncated {
+		return res, &TruncatedError{Ticks: capT, Unfinished: len(cores) - doneN}
+	}
+	return res, nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"hbmsim/internal/model"
+	"hbmsim/internal/stats"
+)
+
+// Result summarises one simulation run.
+type Result struct {
+	// Makespan is the tick on which the last core's last reference was
+	// served (ticks start at 1; an all-empty workload has makespan 0).
+	Makespan model.Tick
+	// TotalRefs is the number of page references served across all cores.
+	TotalRefs uint64
+	// Hits counts serves with response time 1 (the page was resident when
+	// first requested and stayed resident through the serve step).
+	Hits uint64
+	// Misses counts every other serve (response time >= 2).
+	Misses uint64
+	// Fetches counts DRAM-to-HBM block transfers.
+	Fetches uint64
+	// Evictions counts pages evicted from HBM.
+	Evictions uint64
+	// Remaps counts priority re-permutations performed.
+	Remaps uint64
+	// ResponseMean is the average response time over all serves.
+	ResponseMean float64
+	// Inconsistency is the paper's fairness metric: the population
+	// standard deviation of all response times.
+	Inconsistency float64
+	// ResponseMax is the largest response time observed (worst starvation).
+	ResponseMax float64
+	// MaxServeGap is the longest stretch of ticks any core went between
+	// two consecutive serves — the starvation metric Dynamic Priority is
+	// designed to shrink.
+	MaxServeGap model.Tick
+	// AvgQueueLen is the mean DRAM-queue length sampled at the end of
+	// every tick.
+	AvgQueueLen float64
+	// ChannelUtilization is Fetches / (Channels * Makespan): the fraction
+	// of far-channel slots that carried a block.
+	ChannelUtilization float64
+	// PerCore holds per-core summaries, indexed by CoreID.
+	PerCore []CoreResult
+	// Hist is the response-time histogram; nil unless
+	// Config.CollectHistogram was set.
+	Hist *stats.Histogram
+	// Truncated is set when the run hit its tick cap (see TruncatedError).
+	Truncated bool
+}
+
+// CoreResult summarises one core's run.
+type CoreResult struct {
+	// Refs is the number of references served to this core.
+	Refs uint64
+	// Hits counts serves with response time 1.
+	Hits uint64
+	// Completion is the tick on which the core's last reference was
+	// served; 0 for a core with an empty trace.
+	Completion model.Tick
+	// ResponseMean is the core's average response time.
+	ResponseMean float64
+	// ResponseMax is the core's largest response time (its worst
+	// starvation stretch).
+	ResponseMax float64
+	// MaxServeGap is the core's longest tick gap between serves.
+	MaxServeGap model.Tick
+}
+
+// JainFairness returns Jain's fairness index over the per-core mean
+// response times: (sum x)^2 / (n * sum x^2), which is 1 when every core
+// experiences the same average wait and approaches 1/n under maximal
+// starvation. It complements the paper's inconsistency metric (which
+// aggregates over requests, not cores). Cores that served no references
+// are excluded; an empty run reports 0.
+func (r *Result) JainFairness() float64 {
+	var sum, sumSq float64
+	n := 0
+	for _, c := range r.PerCore {
+		if c.Refs == 0 {
+			continue
+		}
+		sum += c.ResponseMean
+		sumSq += c.ResponseMean * c.ResponseMean
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// HitRate returns Hits / TotalRefs, or 0 for an empty run.
+func (r *Result) HitRate() float64 {
+	if r.TotalRefs == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.TotalRefs)
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("makespan=%d refs=%d hitrate=%.3f respmean=%.3f inconsistency=%.3f",
+		r.Makespan, r.TotalRefs, r.HitRate(), r.ResponseMean, r.Inconsistency)
+}
+
+// respAcc accumulates response times, exploiting that hits always have
+// response time exactly 1: hits are counted and folded in at the end in
+// O(1) (stats.Welford.AddN), while misses stream through a Welford
+// accumulator.
+type respAcc struct {
+	hits uint64
+	miss stats.Welford
+}
+
+func (a *respAcc) record(w float64) {
+	if w == 1 {
+		a.hits++
+	} else {
+		a.miss.Add(w)
+	}
+}
+
+// finalize returns the combined accumulator over all serves.
+func (a *respAcc) finalize() stats.Welford {
+	out := a.miss
+	out.AddN(1, a.hits)
+	return out
+}

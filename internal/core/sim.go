@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+
+	"hbmsim/internal/arbiter"
+	"hbmsim/internal/hbm"
+	"hbmsim/internal/model"
+	"hbmsim/internal/replacement"
+	"hbmsim/internal/stats"
+)
+
+// coreState tracks one core's progress through its reference sequence.
+type coreState struct {
+	trace []model.PageID
+	pos   int
+	// reqTick is the tick on which the current reference was first
+	// requested; response time is serveTick - reqTick + 1.
+	reqTick model.Tick
+	// queued is set while the core's request sits in the DRAM queue.
+	queued bool
+	done   bool
+
+	resp       respAcc
+	completion model.Tick
+	// lastServe and maxGap track the starvation metric: the longest
+	// stretch of ticks between two consecutive serves to this core.
+	lastServe model.Tick
+	maxGap    model.Tick
+}
+
+func (c *coreState) cur() model.PageID { return c.trace[c.pos] }
+
+// Sim is a stepwise simulator. Construct with New, then call Step until it
+// returns false (or use Run). Not safe for concurrent use.
+type Sim struct {
+	cfg    Config
+	cores  []coreState
+	store  hbm.Store
+	arb    arbiter.Arbiter
+	perm   arbiter.Permuter
+	pri    []int32
+	seq    uint64
+	tick   model.Tick
+	capT   model.Tick
+	doneN  int
+	truncd bool
+
+	// active lists the cores that need step-2/step-4 processing this tick:
+	// cores with a fresh reference, cores whose fetch just completed, and
+	// cores whose about-to-be-served page was evicted between steps 2 and
+	// 4 of the previous tick. Queued cores are dormant until fetched.
+	active     []model.CoreID
+	nextActive []model.CoreID
+	candidates []model.CoreID
+
+	// inflight holds channel grants that have not yet landed in HBM
+	// (FetchLatency > 1). Grants are appended in pop order, so land ticks
+	// are non-decreasing and landing is a prefix scan.
+	inflight []arrival
+
+	obs Observer
+
+	// metrics
+	makespan  model.Tick
+	fetches   uint64
+	evictions uint64
+	remaps    uint64
+	queueLen  stats.Welford
+	hist      *stats.Histogram
+}
+
+// arrival is a granted fetch travelling down a far channel.
+type arrival struct {
+	core model.CoreID
+	page model.PageID
+	land model.Tick
+}
+
+// New builds a simulator for the given per-core reference sequences.
+// traces[i] is core i's sequence; the model requires the sequences to
+// reference mutually disjoint page sets (use trace.Workload to build
+// compliant inputs — disjointness is not re-verified here).
+func New(cfg Config, traces [][]model.PageID) (*Sim, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(len(traces)); err != nil {
+		return nil, err
+	}
+	var store hbm.Store
+	if cfg.Mapping == MappingDirect {
+		dm, err := hbm.NewDirectMapped(cfg.HBMSlots, cfg.Seed+4)
+		if err != nil {
+			return nil, err
+		}
+		store = dm
+	} else {
+		var pol replacement.Policy
+		if cfg.Replacement == replacement.Belady {
+			// The clairvoyant offline baseline needs the workload's
+			// future; wire the traces through here.
+			pol = replacement.NewBelady(traces)
+		} else {
+			var err error
+			pol, err = replacement.New(cfg.Replacement, cfg.Seed+1)
+			if err != nil {
+				return nil, err
+			}
+		}
+		as, err := hbm.NewAssoc(cfg.HBMSlots, pol)
+		if err != nil {
+			return nil, err
+		}
+		store = as
+	}
+	arb, err := arbiter.New(cfg.Arbiter, len(traces), cfg.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+	perm, err := arbiter.NewPermuter(cfg.Permuter, cfg.Seed+3)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Sim{
+		cfg:   cfg,
+		store: store,
+		arb:   arb,
+		perm:  perm,
+		cores: make([]coreState, len(traces)),
+		pri:   make([]int32, len(traces)),
+	}
+	if cfg.CollectHistogram {
+		s.hist = &stats.Histogram{}
+	}
+	var total uint64
+	for i, tr := range traces {
+		s.cores[i].trace = tr
+		s.pri[i] = int32(i)
+		if len(tr) == 0 {
+			s.cores[i].done = true
+			s.doneN++
+		} else {
+			s.cores[i].reqTick = 1
+			s.active = append(s.active, model.CoreID(i))
+		}
+		total += uint64(len(tr))
+	}
+	s.capT = cfg.MaxTicks
+	if s.capT == 0 {
+		// Generous automatic cap: legitimate makespans are bounded by
+		// roughly 2x the total reference count (every tick either serves
+		// or fetches when work remains); the slack absorbs small-k edge
+		// behaviour while still halting eviction livelocks (possible when
+		// k is within q of the working set, see DESIGN.md §4).
+		s.capT = 8*model.Tick(total+1) + 1024*model.Tick(len(traces)+cfg.HBMSlots+cfg.Channels)
+	}
+	return s, nil
+}
+
+// Tick returns the current tick (the number of Steps executed).
+func (s *Sim) Tick() model.Tick { return s.tick }
+
+// Done reports whether every core has finished.
+func (s *Sim) Done() bool { return s.doneN == len(s.cores) }
+
+// Step executes one tick and reports whether the simulation should
+// continue (false once all cores are done or the tick cap is hit).
+func (s *Sim) Step() bool {
+	if s.Done() || s.truncd {
+		return false
+	}
+	if s.tick >= s.capT {
+		s.truncd = true
+		return false
+	}
+	s.tick++
+	t := s.tick
+
+	// Step 1: remap priorities.
+	if s.cfg.RemapPeriod > 0 && t%s.cfg.RemapPeriod == 0 {
+		s.perm.Permute(s.pri)
+		s.arb.UpdatePriorities(s.pri)
+		s.remaps++
+	}
+
+	// Step 2: queue non-resident requests; collect resident candidates.
+	// Cores are processed in index order, exactly as the reference loop
+	// iterates "for each r*_i": the order fixes FIFO tie-breaking among
+	// same-tick arrivals and the LRU recency of same-tick touches.
+	slices.Sort(s.active)
+	s.candidates = s.candidates[:0]
+	for _, ci := range s.active {
+		c := &s.cores[ci]
+		page := c.cur()
+		if s.store.Contains(page) {
+			s.candidates = append(s.candidates, ci)
+		} else {
+			s.seq++
+			s.arb.Push(model.Request{Core: ci, Page: page, Issued: c.reqTick, Seq: s.seq})
+			c.queued = true
+		}
+	}
+
+	// Step 3: evict so this tick's landing fetches have room (associative
+	// stores only; direct-mapped stores evict on conflict at step 5
+	// instead). With unit fetch latency the pages landing now are the
+	// ones granted now, min(q, queueLen); with longer latency they are
+	// the due in-flight arrivals (at most q, since grants are q per
+	// tick — so this still "evicts up to q pages" as §3.1 prescribes).
+	var need int
+	if s.cfg.FetchLatency == 1 {
+		need = s.cfg.Channels
+		if n := s.arb.Len(); n < need {
+			need = n
+		}
+	} else {
+		for _, a := range s.inflight {
+			if a.land > t {
+				break
+			}
+			need++
+		}
+	}
+	if evicted := s.store.EnsureRoom(need); len(evicted) > 0 {
+		s.evictions += uint64(len(evicted))
+		if s.obs != nil {
+			for _, pg := range evicted {
+				s.obs.OnEvict(pg, t)
+			}
+		}
+	}
+
+	// Step 4: serve every candidate whose page survived step 3.
+	s.nextActive = s.nextActive[:0]
+	for _, ci := range s.candidates {
+		c := &s.cores[ci]
+		page := c.cur()
+		if !s.store.Contains(page) {
+			// Evicted between steps 2 and 4; the core re-requests on the
+			// next tick (as in the reference loop, where step 2 of the
+			// next tick re-queues it). Response time keeps accruing.
+			s.nextActive = append(s.nextActive, ci)
+			continue
+		}
+		s.store.Touch(page)
+		s.serve(ci, t)
+	}
+
+	// Step 5: grant up to q queued requests a far channel, then land every
+	// arrival whose transfer time has elapsed (immediately, for the
+	// model's unit latency).
+	for i := 0; i < s.cfg.Channels; i++ {
+		r, ok := s.arb.Pop()
+		if !ok {
+			break
+		}
+		s.inflight = append(s.inflight, arrival{
+			core: r.Core,
+			page: r.Page,
+			land: t + model.Tick(s.cfg.FetchLatency) - 1,
+		})
+	}
+	landed := 0
+	for _, a := range s.inflight {
+		if a.land > t {
+			break
+		}
+		landed++
+		if victim, displaced, err := s.store.Insert(a.page); err != nil {
+			// Step 3 guaranteed room for every due arrival; this is
+			// unreachable unless an invariant is broken.
+			panic(fmt.Sprintf("core: fetch failed at tick %d: %v", t, err))
+		} else if displaced {
+			s.evictions++
+			if s.obs != nil {
+				s.obs.OnEvict(victim, t)
+			}
+		}
+		s.fetches++
+		if s.obs != nil {
+			s.obs.OnFetch(a.core, a.page, t)
+		}
+		c := &s.cores[a.core]
+		c.queued = false
+		s.nextActive = append(s.nextActive, a.core)
+	}
+	if landed > 0 {
+		s.inflight = s.inflight[landed:]
+	}
+
+	s.queueLen.Add(float64(s.arb.Len()))
+	s.active, s.nextActive = s.nextActive, s.active
+	return !s.Done()
+}
+
+// serve records the serve of core ci's current reference at tick t and
+// advances the core.
+func (s *Sim) serve(ci model.CoreID, t model.Tick) {
+	c := &s.cores[ci]
+	w := float64(t-c.reqTick) + 1
+	c.resp.record(w)
+	if s.obs != nil {
+		s.obs.OnServe(ci, c.cur(), t, t-c.reqTick+1)
+	}
+	if gap := t - c.lastServe; gap > c.maxGap {
+		c.maxGap = gap
+	}
+	c.lastServe = t
+	if s.hist != nil {
+		s.hist.Add(uint64(w))
+	}
+	c.pos++
+	if c.pos == len(c.trace) {
+		c.done = true
+		c.completion = t
+		s.doneN++
+	} else {
+		c.reqTick = t + 1
+		s.nextActive = append(s.nextActive, ci)
+	}
+	if t > s.makespan {
+		s.makespan = t
+	}
+}
+
+// Result summarises the run so far. It is typically called once Step has
+// returned false.
+func (s *Sim) Result() *Result {
+	res := &Result{
+		Makespan:  s.makespan,
+		Fetches:   s.fetches,
+		Evictions: s.evictions,
+		Remaps:    s.remaps,
+		PerCore:   make([]CoreResult, len(s.cores)),
+		Hist:      s.hist,
+		Truncated: s.truncd,
+	}
+	var all stats.Welford
+	for i := range s.cores {
+		c := &s.cores[i]
+		w := c.resp.finalize()
+		all.Merge(w)
+		res.Hits += c.resp.hits
+		res.PerCore[i] = CoreResult{
+			Refs:         w.N(),
+			Hits:         c.resp.hits,
+			Completion:   c.completion,
+			ResponseMean: w.Mean(),
+			ResponseMax:  w.Max(),
+			MaxServeGap:  c.maxGap,
+		}
+		if c.maxGap > res.MaxServeGap {
+			res.MaxServeGap = c.maxGap
+		}
+	}
+	res.TotalRefs = all.N()
+	res.Misses = res.TotalRefs - res.Hits
+	res.ResponseMean = all.Mean()
+	res.Inconsistency = all.StddevPop()
+	res.ResponseMax = all.Max()
+	res.AvgQueueLen = s.queueLen.Mean()
+	if s.makespan > 0 {
+		res.ChannelUtilization = float64(s.fetches) / (float64(s.cfg.Channels) * float64(s.makespan))
+	}
+	return res
+}
+
+// Run builds a simulator and executes it to completion, returning its
+// Result. When the tick cap is hit, the partial Result is returned together
+// with a *TruncatedError.
+func Run(cfg Config, traces [][]model.PageID) (*Result, error) {
+	s, err := New(cfg, traces)
+	if err != nil {
+		return nil, err
+	}
+	for s.Step() {
+	}
+	res := s.Result()
+	if s.truncd {
+		return res, &TruncatedError{Ticks: s.capT, Unfinished: len(s.cores) - s.doneN}
+	}
+	return res, nil
+}

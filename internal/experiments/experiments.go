@@ -1,0 +1,81 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4 and §5), plus the ablations its parameter sweep mentions.
+// Each experiment returns an Outcome carrying the measured tables/series
+// and the paper's corresponding claim, so callers (cmd/hbmsweep,
+// cmd/paperrepro, the benchmark harness, EXPERIMENTS.md) can compare
+// shapes directly.
+//
+// Workload sizes are scaled down from the paper's (500k-integer sorts,
+// 600x600 SpGEMM, up to 200 threads) so the full suite runs in minutes;
+// HBM sizes are expressed as multiples of one core's unique page count,
+// preserving the scarcity ratios that drive every effect the paper
+// reports. Options.Full restores the paper-scale parameters.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"hbmsim/internal/report"
+)
+
+// Outcome is the result of one experiment.
+type Outcome struct {
+	// ID is the experiment identifier (fig2a, table1b, abl-q, ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// PaperClaim restates what the paper reports for this artifact.
+	PaperClaim string
+	// Headline is the measured one-line summary to compare to PaperClaim.
+	Headline string
+	// Tables holds the regenerated tables.
+	Tables []*report.Table
+	// Series holds line data for the regenerated figure (empty for pure
+	// tables).
+	Series []report.Series
+	// ChartTitle labels the chart built from Series.
+	ChartTitle string
+}
+
+// Func runs one experiment.
+type Func func(Options) (*Outcome, error)
+
+// registry maps experiment IDs to implementations; populated by init
+// functions in the per-experiment files.
+var registry = map[string]Func{}
+
+func register(id string, f Func) {
+	if _, dup := registry[id]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", id))
+	}
+	registry[id] = f
+}
+
+// IDs returns every registered experiment id, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Func, error) {
+	f, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return f, nil
+}
+
+// Run looks up and runs one experiment.
+func Run(id string, o Options) (*Outcome, error) {
+	f, err := Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return f(o)
+}

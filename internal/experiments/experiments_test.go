@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns miniature options so every experiment runs in well under a
+// second; the point is end-to-end exercise, not paper-shape assertions
+// (those live in the root package's paper_test.go and in the benchmarks).
+func tiny() Options {
+	return Options{
+		SortN:            400,
+		SpGEMMN:          24,
+		SpGEMMDensity:    0.15,
+		PageBytes:        64,
+		Threads:          []int{2, 4, 8},
+		HBMSlots:         []int{32, 128},
+		RemapMultipliers: []float64{1, 10},
+		DynamicT:         10,
+		Channels:         1,
+		TradeoffThreads:  8,
+		TradeoffSlots:    64,
+		Seed:             1,
+	}
+}
+
+func TestIDsSortedAndComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) < 15 {
+		t.Fatalf("expected at least 15 experiments, got %d: %v", len(ids), ids)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("ids not sorted: %v", ids)
+		}
+	}
+	for _, want := range []string{
+		"fig2a", "fig2b", "fig3", "fig4a", "fig4b", "fig5a", "fig5b",
+		"table1a", "table1b", "table2a", "table2b", "fig6", "knl-properties",
+		"channels", "replacement", "permuters", "imbalance", "directmap",
+		"mapping", "offline", "augmentation", "latency", "missratio",
+		"responsecdf", "variance",
+	} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("experiment %q missing from registry", want)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if _, err := Run("nope", tiny()); err == nil {
+		t.Fatal("Run with unknown id accepted")
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	ok := tiny()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("tiny options invalid: %v", err)
+	}
+	bad := tiny()
+	bad.SortN = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("SortN=0 accepted")
+	}
+	bad = tiny()
+	bad.Threads = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty thread axis accepted")
+	}
+	bad = tiny()
+	bad.Threads = []int{0}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero thread count accepted")
+	}
+	bad = tiny()
+	bad.HBMSlots = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty HBM axis accepted")
+	}
+	bad = tiny()
+	bad.HBMSlots = []int{0}
+	if err := bad.Validate(); err == nil {
+		t.Error("HBM size below channels accepted")
+	}
+	bad = tiny()
+	bad.Channels = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero channels accepted")
+	}
+	bad = tiny()
+	bad.TradeoffThreads = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero tradeoff threads accepted")
+	}
+}
+
+func TestDefaultAndFullOptionsValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default options invalid: %v", err)
+	}
+	if err := Full().Validate(); err != nil {
+		t.Fatalf("full options invalid: %v", err)
+	}
+	if Full().SortN != 500000 || Full().SpGEMMN != 600 {
+		t.Error("full options should use the paper's sizes")
+	}
+}
+
+// TestEveryExperimentRunsEndToEnd exercises the whole registry at tiny
+// scale and checks the Outcome contract.
+func TestEveryExperimentRunsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	o := tiny()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			out, err := Run(id, o)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if out.ID != id {
+				t.Errorf("outcome id %q != %q", out.ID, id)
+			}
+			if out.Title == "" || out.PaperClaim == "" || out.Headline == "" {
+				t.Errorf("outcome incomplete: %+v", out)
+			}
+			if len(out.Tables) == 0 {
+				t.Errorf("no tables produced")
+			}
+			for _, tbl := range out.Tables {
+				if tbl.Len() == 0 {
+					t.Errorf("empty table %q", tbl.Title)
+				}
+			}
+			if len(out.Series) > 0 && out.ChartTitle == "" {
+				t.Errorf("series without a chart title")
+			}
+		})
+	}
+}
+
+// TestFig3RequiresEnoughThreads: the adversarial sizing needs p >= 4.
+func TestFig3RequiresEnoughThreads(t *testing.T) {
+	o := tiny()
+	o.Threads = []int{2}
+	if _, err := Run("fig3", o); err == nil {
+		t.Fatal("fig3 with p<4 should error")
+	}
+}
+
+func TestExperimentsRejectBadOptions(t *testing.T) {
+	bad := tiny()
+	bad.SortN = -1
+	for _, id := range []string{"fig2a", "fig2b", "fig3", "fig4a", "fig5b", "table1a", "channels", "directmap"} {
+		if _, err := Run(id, bad); err == nil {
+			t.Errorf("%s accepted invalid options", id)
+		}
+	}
+}
+
+func TestTradeoffSchemesShape(t *testing.T) {
+	o := tiny()
+	schemes := tradeoffSchemes(o)
+	// FIFO + 2 dynamic + 2 cycle + static priority.
+	if len(schemes) != 6 {
+		t.Fatalf("schemes: %d", len(schemes))
+	}
+	if schemes[0].name != "FIFO" || schemes[len(schemes)-1].name != "Priority" {
+		t.Fatalf("scheme order wrong: %v", schemes)
+	}
+	for _, sc := range schemes[1:5] {
+		if !strings.Contains(sc.name, "Priority T=") {
+			t.Errorf("middle scheme name: %q", sc.name)
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	register("fig3", figure3)
+}

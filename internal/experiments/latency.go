@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hbmsim/internal/core"
+	"hbmsim/internal/model"
+	"hbmsim/internal/report"
+	"hbmsim/internal/sweep"
+)
+
+func init() {
+	register("latency", ablLatency)
+	register("responsecdf", ablResponseCDF)
+}
+
+// ablLatency sweeps the far-channel block-transfer latency (the model
+// pins it to 1; real DRAM transfers take longer). Pipelined channels mean
+// bandwidth is unchanged, so the policy ordering — the paper's actual
+// claim — should survive; this ablation verifies that the FIFO/Priority
+// gap is latency-robust.
+func ablLatency(o Options) (*Outcome, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	wl, err := spgemmWorkload(o)
+	if err != nil {
+		return nil, err
+	}
+	p := o.TradeoffThreads
+	sub := wl.Subset(p)
+	k := tradeoffSlots(o)
+
+	lats := []int{1, 2, 4, 8, 16}
+	var jobs []sweep.Job
+	for _, l := range lats {
+		seed := o.Seed + int64(l)
+		fifoCfg := fifoConfig(o.Channels)(k, seed)
+		fifoCfg.FetchLatency = l
+		prioCfg := priorityConfig(o.Channels)(k, seed+1)
+		prioCfg.FetchLatency = l
+		jobs = append(jobs,
+			sweep.Job{Name: fmt.Sprintf("FIFO L=%d", l), Config: fifoCfg, Workload: sub},
+			sweep.Job{Name: fmt.Sprintf("Priority L=%d", l), Config: prioCfg, Workload: sub},
+		)
+	}
+	rows := sweep.Run(jobs, o.Workers)
+	if err := sweep.FirstError(rows); err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable(
+		fmt.Sprintf("Far-channel transfer latency sweep on %s (p=%d, k=%d, q=%d, pipelined)", sub.Name, p, k, o.Channels),
+		"latency", "FIFO makespan", "Priority makespan", "ratio")
+	var r1, rMax, rMin float64
+	rMin = 1e18
+	for i, l := range lats {
+		f, pr := rows[2*i].Result, rows[2*i+1].Result
+		r := float64(f.Makespan) / float64(pr.Makespan)
+		tbl.AddRow(l, uint64(f.Makespan), uint64(pr.Makespan), r)
+		if l == 1 {
+			r1 = r
+		}
+		if r > rMax {
+			rMax = r
+		}
+		if r < rMin {
+			rMin = r
+		}
+	}
+	return &Outcome{
+		ID:    "latency",
+		Title: "Ablation: block-transfer latency (model generalisation)",
+		PaperClaim: "the model sets all block-transfer times to 1; the policy comparison should not hinge on that " +
+			"constant as long as the far channels remain the bandwidth bottleneck",
+		Headline: fmt.Sprintf("FIFO/Priority ratio stays in [%.2f, %.2f] as latency grows 1→16 (ratio %.2f at L=1)",
+			rMin, rMax, r1),
+		Tables: []*report.Table{tbl},
+	}, nil
+}
+
+// ablResponseCDF tabulates response-time percentiles per queuing policy
+// from the per-run histogram — the starvation quantification behind
+// Table 1's averages and standard deviations.
+func ablResponseCDF(o Options) (*Outcome, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	wl, err := spgemmWorkload(o)
+	if err != nil {
+		return nil, err
+	}
+	p := o.TradeoffThreads
+	sub := wl.Subset(p)
+	k := tradeoffSlots(o)
+
+	schemes := tradeoffSchemes(o)
+	jobs := make([]sweep.Job, len(schemes))
+	for i, sc := range schemes {
+		jobs[i] = sweep.Job{
+			Name: sc.name,
+			Config: core.Config{
+				HBMSlots: k, Channels: o.Channels,
+				Arbiter: sc.kind, Permuter: sc.perm,
+				RemapPeriod:      model.Tick(sc.tMult * float64(k)),
+				CollectHistogram: true,
+				Seed:             o.Seed + int64(200+i),
+			},
+			Workload: sub,
+		}
+	}
+	rows := sweep.Run(jobs, o.Workers)
+	if err := sweep.FirstError(rows); err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable(
+		fmt.Sprintf("Response-time distribution on %s (p=%d, k=%d; log2-bucket upper bounds)", sub.Name, p, k),
+		"policy", "p50", "p90", "p99", "p99.9", "max", "max serve gap", "Jain fairness")
+	var fifoMax, prioMax float64
+	for i, sc := range schemes {
+		res := rows[i].Result
+		h := res.Hist
+		tbl.AddRow(sc.name,
+			h.QuantileUpper(0.5), h.QuantileUpper(0.9), h.QuantileUpper(0.99),
+			h.QuantileUpper(0.999), res.ResponseMax, uint64(res.MaxServeGap),
+			res.JainFairness())
+		switch sc.name {
+		case "FIFO":
+			fifoMax = res.ResponseMax
+		case "Priority":
+			prioMax = res.ResponseMax
+		}
+	}
+	return &Outcome{
+		ID:    "responsecdf",
+		Title: "Analysis: response-time percentiles per queuing policy",
+		PaperClaim: "Priority may starve threads for long periods (possibly unbounded response times); FIFO bounds " +
+			"response times at O(p); the permuting schemes bound them by p*T",
+		Headline: fmt.Sprintf("worst response: FIFO %.0f ticks (the O(p) bound, p=%d) vs Priority %.0f — a %.0fx starvation tail",
+			fifoMax, p, prioMax, safeDiv(prioMax, fifoMax)),
+		Tables: []*report.Table{tbl},
+	}, nil
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import "fmt"
+
+// Options scales and seeds the experiment suite.
+type Options struct {
+	// SortN is the sort-workload input size (paper: 500000).
+	SortN int
+	// SpGEMMN is the sparse-matmul dimension (paper: 600).
+	SpGEMMN int
+	// SpGEMMDensity is the nonzero fraction (paper: ~0.10).
+	SpGEMMDensity float64
+	// PageBytes is the page size used when mapping instrumented accesses
+	// to pages.
+	PageBytes int
+	// Threads is the thread-count axis of the figures (paper: 1..200).
+	Threads []int
+	// HBMSlots is the HBM-size axis of the figures in slots (the paper
+	// sweeps 1000-5000 slots at cache-line block granularity).
+	HBMSlots []int
+	// RemapMultipliers are the T values of Figure 5 / Table 1 in units of
+	// k (paper: 1, 5, 10, 100).
+	RemapMultipliers []float64
+	// DynamicT is the remap multiplier used by the Dynamic Priority
+	// figures (paper: 10).
+	DynamicT float64
+	// Channels is q for the main experiments (paper: 1).
+	Channels int
+	// TradeoffThreads is the thread count for Figure 5 / Table 1.
+	TradeoffThreads int
+	// TradeoffSlots is the HBM size for Figure 5 / Table 1 and the
+	// ablations, chosen so the far channel is saturated (the paper's
+	// regime: large response times, visible starvation).
+	TradeoffSlots int
+	// Seed drives all workload generation and policy randomness.
+	Seed int64
+	// Workers bounds sweep parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Default returns laptop-scale options that preserve the paper's scarcity
+// ratios (see the package comment).
+func Default() Options {
+	return Options{
+		SortN:            8000,
+		SpGEMMN:          96,
+		SpGEMMDensity:    0.10,
+		PageBytes:        64,
+		Threads:          []int{4, 8, 16, 32, 48, 64, 96},
+		HBMSlots:         []int{250, 1000, 4000},
+		RemapMultipliers: []float64{1, 5, 10, 100},
+		DynamicT:         10,
+		Channels:         1,
+		TradeoffThreads:  64,
+		TradeoffSlots:    1000,
+		Seed:             1,
+	}
+}
+
+// Full returns the paper-scale options. The suite takes hours at this
+// scale; it exists to demonstrate that nothing but time separates the
+// scaled runs from the original ones.
+func Full() Options {
+	o := Default()
+	o.SortN = 500000
+	o.SpGEMMN = 600
+	o.Threads = []int{1, 25, 50, 75, 100, 125, 150, 175, 200}
+	o.HBMSlots = []int{1000, 3000, 5000}
+	o.TradeoffThreads = 100
+	o.TradeoffSlots = 3000
+	return o
+}
+
+// Validate reports an option error, if any.
+func (o Options) Validate() error {
+	if o.SortN <= 0 || o.SpGEMMN <= 0 {
+		return fmt.Errorf("experiments: workload sizes must be positive (sortN=%d, spgemmN=%d)", o.SortN, o.SpGEMMN)
+	}
+	if len(o.Threads) == 0 {
+		return fmt.Errorf("experiments: at least one thread count required")
+	}
+	for _, p := range o.Threads {
+		if p <= 0 {
+			return fmt.Errorf("experiments: thread counts must be positive, got %d", p)
+		}
+	}
+	if len(o.HBMSlots) == 0 {
+		return fmt.Errorf("experiments: at least one HBM size required")
+	}
+	for _, k := range o.HBMSlots {
+		if k < o.Channels {
+			return fmt.Errorf("experiments: HBM size %d below channel count %d", k, o.Channels)
+		}
+	}
+	if o.Channels < 1 {
+		return fmt.Errorf("experiments: channels must be >= 1, got %d", o.Channels)
+	}
+	if o.TradeoffThreads < 1 {
+		return fmt.Errorf("experiments: tradeoff thread count must be >= 1, got %d", o.TradeoffThreads)
+	}
+	return nil
+}
+
+// maxThreads returns the largest thread count in the axis.
+func (o Options) maxThreads() int {
+	max := 0
+	for _, p := range o.Threads {
+		if p > max {
+			max = p
+		}
+	}
+	if o.TradeoffThreads > max {
+		max = o.TradeoffThreads
+	}
+	return max
+}

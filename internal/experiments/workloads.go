@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"hbmsim/internal/trace"
+	"hbmsim/internal/workloads"
+)
+
+// sortWorkload builds the Dataset-1 workload (instrumented GNU sort) for
+// the options' maximum thread count; smaller thread counts reuse prefixes.
+func sortWorkload(o Options) (*trace.Workload, error) {
+	return workloads.SortWorkload(o.maxThreads(), workloads.SortConfig{
+		N:         o.SortN,
+		Algo:      workloads.Introsort,
+		PageBytes: o.PageBytes,
+	}, o.Seed)
+}
+
+// spgemmWorkload builds the Dataset-2 workload (instrumented SpGEMM).
+func spgemmWorkload(o Options) (*trace.Workload, error) {
+	return workloads.SpGEMMWorkload(o.maxThreads(), workloads.SpGEMMConfig{
+		N:         o.SpGEMMN,
+		Density:   o.SpGEMMDensity,
+		PageBytes: o.PageBytes,
+	}, o.Seed)
+}
+
+// tradeoffSlots returns the HBM size for the tradeoff and ablation
+// experiments.
+func tradeoffSlots(o Options) int {
+	if o.TradeoffSlots <= 0 {
+		return 1000
+	}
+	return o.TradeoffSlots
+}

@@ -1,0 +1,52 @@
+package knl
+
+import "fmt"
+
+// GLUPSBandwidthMiBs returns the aggregate bandwidth (MiB/s) the GLUPS
+// microbenchmark achieves on an array of the given size in the given mode
+// with the given thread count. GLUPS reads, xors, and writes random
+// 1024-byte blocks with enough threads to saturate the channels, so the
+// result is the channel-limited streaming bandwidth:
+//
+//   - flat DRAM: the DDR channels' bandwidth (flat in array size);
+//   - flat HBM: the on-package channels' bandwidth, ~4.3-4.8x DRAM (P2);
+//   - cache mode: HBM bandwidth while the array fits; past HBM capacity
+//     the miss fraction is refilled over the far channels, and the
+//     harmonic combination collapses toward (but stays above) DRAM (P4).
+func (m Machine) GLUPSBandwidthMiBs(arrayBytes uint64, threads int, mode Mode) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if arrayBytes == 0 {
+		return 0, fmt.Errorf("knl: array size must be positive")
+	}
+	if threads <= 0 {
+		return 0, fmt.Errorf("knl: thread count must be positive, got %d", threads)
+	}
+	if mode == FlatHBM && arrayBytes > m.HBMBytes {
+		return 0, fmt.Errorf("knl: cannot allocate %d bytes in %d-byte HBM (flat mode)", arrayBytes, m.HBMBytes)
+	}
+
+	// Fewer threads than the channel-saturation point scale linearly.
+	scale := float64(threads) / float64(m.Threads)
+	if scale > 1 {
+		scale = 1
+	}
+	switch mode {
+	case FlatDRAM:
+		return scale * m.DRAMBandwidth, nil
+	case FlatHBM:
+		return scale * m.HBMBandwidth, nil
+	case Cache:
+		miss := sat(arrayBytes, m.HBMBytes)
+		if miss == 0 {
+			return scale * m.HBMBandwidth, nil
+		}
+		// Harmonic mix: hit bytes stream at HBM speed, miss bytes are
+		// limited by the far channels to DRAM.
+		eff := 1 / ((1-miss)/m.HBMBandwidth + miss/m.FarBandwidth)
+		return scale * eff, nil
+	default:
+		return 0, fmt.Errorf("knl: unknown mode %q", mode)
+	}
+}

@@ -1,0 +1,127 @@
+package knl
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ChaseLatencyNS returns the expected per-operation latency of the paper's
+// pointer-chasing microbenchmark (x := a[x] over a random-cycle array of
+// the given size) in the given mode: the hit-fraction-weighted cost across
+// the hierarchy. FlatHBM is only available while the array fits in HBM,
+// exactly as on the real machine ("we stop the experiment early for HBM").
+func (m Machine) ChaseLatencyNS(arrayBytes uint64, mode Mode) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if arrayBytes == 0 {
+		return 0, fmt.Errorf("knl: array size must be positive")
+	}
+	if mode == FlatHBM && arrayBytes > m.HBMBytes {
+		return 0, fmt.Errorf("knl: cannot allocate %d bytes in %d-byte HBM (flat mode)", arrayBytes, m.HBMBytes)
+	}
+
+	// Fractions of a uniformly random access served by each cache tier.
+	fL1 := frac(arrayBytes, 0, m.L1Bytes)
+	fL2 := frac(arrayBytes, m.L1Bytes, m.L2Bytes)
+	fSL2 := frac(arrayBytes, m.L2Bytes, m.SharedL2Bytes)
+	fMem := 1 - fL1 - fL2 - fSL2
+	if fMem < 0 {
+		fMem = 0
+	}
+
+	lat := fL1*m.L1NS + fL2*m.L2NS + fSL2*m.SharedL2NS
+	if fMem > 0 {
+		lat += fMem * m.memoryLatencyNS(arrayBytes, mode)
+	}
+	return lat, nil
+}
+
+// frac returns the fraction of a size-s array resident in the tier that
+// spans capacities (lo, hi].
+func frac(s, lo, hi uint64) float64 {
+	if s == 0 {
+		return 0
+	}
+	resLo := min64(s, lo)
+	resHi := min64(s, hi)
+	return float64(resHi-resLo) / float64(s)
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// memoryLatencyNS is the cost of an access that misses every cache tier
+// and reaches main memory in the given mode.
+func (m Machine) memoryLatencyNS(arrayBytes uint64, mode Mode) float64 {
+	dram := m.DRAMBaseNS + m.walkOverheadNS(arrayBytes)
+	switch mode {
+	case FlatDRAM:
+		return dram
+	case FlatHBM:
+		// P1: HBM's chip latency is DRAM's plus a small constant.
+		return dram + m.HBMExtraNS
+	case Cache:
+		// Every access first probes the HBM cache (an extra mesh leg plus
+		// tag check); direct-mapped conflicts ramp in with footprint, and
+		// capacity misses past HBM pay the far-channel trip to DRAM (P3).
+		lat := dram + m.HBMExtraNS + m.CacheTagNS
+		lat += m.CacheConflictNS * sat(arrayBytes, m.CacheConflictAt)
+		if miss := sat(arrayBytes, m.HBMBytes); miss > 0 {
+			lat += miss * m.CacheMissNS
+		}
+		return lat
+	default:
+		return dram
+	}
+}
+
+// walkOverheadNS is the address-translation overhead for a working set of
+// the given size: each TLB tier charges its penalty on the uncovered
+// fraction.
+func (m Machine) walkOverheadNS(arrayBytes uint64) float64 {
+	o := 0.0
+	for _, t := range m.TLB {
+		o += t.PenaltyNS * sat(arrayBytes, t.CoverBytes)
+	}
+	return o
+}
+
+// ChaseSimulate runs a Monte Carlo pointer chase: ops accesses, each
+// landing in a hierarchy tier with the residency probabilities of a
+// uniformly random cycle, paying that tier's cost. It converges to
+// ChaseLatencyNS and exists to mirror the measurement procedure (the paper
+// measures 2^27 chases and divides).
+func (m Machine) ChaseSimulate(arrayBytes uint64, mode Mode, ops int, seed int64) (float64, error) {
+	if _, err := m.ChaseLatencyNS(arrayBytes, mode); err != nil {
+		return 0, err
+	}
+	if ops <= 0 {
+		return 0, fmt.Errorf("knl: ops must be positive, got %d", ops)
+	}
+	fL1 := frac(arrayBytes, 0, m.L1Bytes)
+	fL2 := frac(arrayBytes, m.L1Bytes, m.L2Bytes)
+	fSL2 := frac(arrayBytes, m.L2Bytes, m.SharedL2Bytes)
+	memLat := m.memoryLatencyNS(arrayBytes, mode)
+
+	rng := rand.New(rand.NewSource(seed))
+	total := 0.0
+	for i := 0; i < ops; i++ {
+		u := rng.Float64()
+		switch {
+		case u < fL1:
+			total += m.L1NS
+		case u < fL1+fL2:
+			total += m.L2NS
+		case u < fL1+fL2+fSL2:
+			total += m.SharedL2NS
+		default:
+			total += memLat
+		}
+	}
+	return total / float64(ops), nil
+}

@@ -1,0 +1,113 @@
+package knl
+
+import "fmt"
+
+// PropertyResult is the outcome of checking one of §5's four model
+// properties against the machine.
+type PropertyResult struct {
+	// ID is 1-4, matching the paper's Property numbering in §5.
+	ID int
+	// Description restates the property.
+	Description string
+	// Holds reports whether the machine exhibits the property.
+	Holds bool
+	// Detail quantifies the check.
+	Detail string
+}
+
+// CheckProperties evaluates the four properties the paper validates on
+// KNL (§5) against this machine. A correctly calibrated machine — such as
+// Default() — satisfies all four, meaning the HBM+DRAM model's
+// abstractions are consistent with the (modelled) hardware.
+func (m Machine) CheckProperties() ([]PropertyResult, error) {
+	const (
+		mib = uint64(1) << 20
+		gib = uint64(1) << 30
+	)
+	var out []PropertyResult
+
+	// P1: HBM and DRAM have similar latency when accessed directly.
+	// The paper observes a ~24ns gap on 16MiB-8GiB arrays, small relative
+	// to the ~170-340ns absolute latency.
+	var worstRel float64
+	for _, s := range []uint64{16 * mib, 256 * mib, 1 * gib, 8 * gib} {
+		d, err := m.ChaseLatencyNS(s, FlatDRAM)
+		if err != nil {
+			return nil, err
+		}
+		h, err := m.ChaseLatencyNS(s, FlatHBM)
+		if err != nil {
+			return nil, err
+		}
+		rel := (h - d) / d
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > worstRel {
+			worstRel = rel
+		}
+	}
+	out = append(out, PropertyResult{
+		ID:          1,
+		Description: "HBM and DRAM have similar direct-access latency",
+		Holds:       worstRel < 0.25,
+		Detail:      fmt.Sprintf("worst relative latency gap %.1f%% (paper: ~10%%, 24ns)", 100*worstRel),
+	})
+
+	// P2: HBM has substantially higher bandwidth than DRAM (4.3-4.8x on
+	// the paper's KNL).
+	bd, err := m.GLUPSBandwidthMiBs(8*gib, m.Threads, FlatDRAM)
+	if err != nil {
+		return nil, err
+	}
+	bh, err := m.GLUPSBandwidthMiBs(8*gib, m.Threads, FlatHBM)
+	if err != nil {
+		return nil, err
+	}
+	ratio := bh / bd
+	out = append(out, PropertyResult{
+		ID:          2,
+		Description: "HBM bandwidth greatly exceeds DRAM bandwidth",
+		Holds:       ratio >= 3,
+		Detail:      fmt.Sprintf("HBM/DRAM bandwidth ratio %.2fx (paper: 4.3-4.8x)", ratio),
+	})
+
+	// P3: a cache-mode miss to DRAM costs about double an HBM hit, once
+	// the shared-L2 baseline is subtracted (paper: ~160ns to HBM vs 300+ns
+	// to DRAM beyond the mesh baseline).
+	hitLat, err := m.ChaseLatencyNS(8*gib, Cache) // fits: pure HBM hits
+	if err != nil {
+		return nil, err
+	}
+	missLat := m.memoryLatencyNS(64*gib, Cache) // far past HBM: mostly misses
+	base := m.SharedL2NS
+	missOver := missLat - base
+	hitOver := hitLat - base
+	p3ratio := missOver / hitOver
+	out = append(out, PropertyResult{
+		ID:          3,
+		Description: "cache-mode DRAM miss costs ~2x an HBM hit (beyond the mesh baseline)",
+		Holds:       p3ratio >= 1.3,
+		Detail:      fmt.Sprintf("miss/hit latency ratio beyond baseline %.2fx (paper: ~2x)", p3ratio),
+	})
+
+	// P4: past HBM capacity, cache-mode bandwidth collapses because of the
+	// far-channel bottleneck, but remains above flat DRAM.
+	inHBM, err := m.GLUPSBandwidthMiBs(8*gib, m.Threads, Cache)
+	if err != nil {
+		return nil, err
+	}
+	pastHBM, err := m.GLUPSBandwidthMiBs(32*gib, m.Threads, Cache)
+	if err != nil {
+		return nil, err
+	}
+	holds := pastHBM < 0.75*inHBM && pastHBM > bd
+	out = append(out, PropertyResult{
+		ID:          4,
+		Description: "cache-mode bandwidth drops past HBM capacity but stays above DRAM",
+		Holds:       holds,
+		Detail: fmt.Sprintf("in-HBM %.0f MiB/s, 2x-HBM %.0f MiB/s, DRAM %.0f MiB/s (paper: 310k -> 149k > 68k)",
+			inHBM, pastHBM, bd),
+	})
+	return out, nil
+}

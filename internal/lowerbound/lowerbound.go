@@ -1,0 +1,54 @@
+// Package lowerbound computes makespan lower bounds for a workload under
+// the HBM+DRAM model, used to estimate empirical competitive ratios
+// (Priority is O(1)-competitive for q = 1, Theorem 1; O(q)-competitive in
+// general, Theorem 3 — the bounds here let experiments report how far a
+// policy's measured makespan sits from optimal).
+package lowerbound
+
+import (
+	"hbmsim/internal/model"
+	"hbmsim/internal/trace"
+)
+
+// Bounds collects the individual lower bounds; Makespan is their maximum.
+type Bounds struct {
+	// SerialRefs bounds by the longest single reference sequence: a core
+	// is served at most one block per tick.
+	SerialRefs model.Tick
+	// ColdMisses bounds by mandatory far-channel traffic: the model's HBM
+	// starts empty, so every distinct page must cross a far channel at
+	// least once, and the channels move at most q blocks per tick.
+	ColdMisses model.Tick
+	// Makespan is max(SerialRefs, ColdMisses) + 1: the last fetched block
+	// still needs one tick to reach its core.
+	Makespan model.Tick
+}
+
+// Compute returns makespan lower bounds for the workload on an HBM of k
+// slots with q far channels. (k is accepted for interface symmetry; the
+// cold-start bound does not depend on it.)
+func Compute(wl *trace.Workload, k, q int) Bounds {
+	_ = k
+	var b Bounds
+	b.SerialRefs = model.Tick(wl.MaxTraceLen())
+	unique := wl.UniquePages()
+	b.ColdMisses = model.Tick((uint64(unique) + uint64(q) - 1) / uint64(q))
+
+	b.Makespan = b.SerialRefs
+	if b.ColdMisses > b.Makespan {
+		b.Makespan = b.ColdMisses
+	}
+	if b.Makespan > 0 {
+		b.Makespan++ // the last block still takes a tick to reach its core
+	}
+	return b
+}
+
+// Ratio returns measured/lower-bound, the empirical competitive-ratio
+// estimate. It returns 0 when the bound is zero.
+func Ratio(measured model.Tick, b Bounds) float64 {
+	if b.Makespan == 0 {
+		return 0
+	}
+	return float64(measured) / float64(b.Makespan)
+}

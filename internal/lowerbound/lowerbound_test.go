@@ -1,0 +1,76 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"hbmsim/internal/core"
+	"hbmsim/internal/trace"
+)
+
+func TestComputeHandCases(t *testing.T) {
+	wl := trace.Raw("w", []trace.Trace{
+		{0, 1, 2, 0, 1}, // 5 refs, 3 unique
+		{10, 11},        // 2 refs, 2 unique
+	})
+	b := Compute(wl, 4, 1)
+	if b.SerialRefs != 5 {
+		t.Errorf("serial bound: got %d, want 5", b.SerialRefs)
+	}
+	if b.ColdMisses != 5 {
+		t.Errorf("cold bound: got %d, want 5 (5 unique pages / q=1)", b.ColdMisses)
+	}
+	if b.Makespan != 6 {
+		t.Errorf("makespan bound: got %d, want 6", b.Makespan)
+	}
+
+	b2 := Compute(wl, 4, 2)
+	if b2.ColdMisses != 3 {
+		t.Errorf("cold bound q=2: got %d, want 3", b2.ColdMisses)
+	}
+	if b2.Makespan != 6 {
+		t.Errorf("makespan bound q=2: got %d, want 6 (serial dominates)", b2.Makespan)
+	}
+}
+
+func TestComputeEmpty(t *testing.T) {
+	wl := trace.Raw("w", nil)
+	b := Compute(wl, 4, 1)
+	if b.Makespan != 0 {
+		t.Errorf("empty workload bound: %d", b.Makespan)
+	}
+	if Ratio(10, b) != 0 {
+		t.Errorf("ratio with zero bound should be 0")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	b := Bounds{Makespan: 100}
+	if got := Ratio(250, b); got != 2.5 {
+		t.Errorf("ratio: got %g, want 2.5", got)
+	}
+}
+
+// TestBoundNeverExceedsSimulation: for a spread of real workloads and
+// policies, the lower bound must actually be a lower bound.
+func TestBoundNeverExceedsSimulation(t *testing.T) {
+	wl := trace.NewWorkload("w", []trace.Trace{
+		{0, 1, 2, 3, 0, 1, 2, 3},
+		{0, 1, 0, 1, 0, 1},
+		{5, 6, 7, 5, 6, 7},
+	})
+	for _, k := range []int{2, 4, 16} {
+		for _, q := range []int{1, 2} {
+			b := Compute(wl, k, q)
+			res, err := core.Run(core.Config{HBMSlots: k, Channels: q}, wl.Raw())
+			if err != nil {
+				t.Fatalf("k=%d q=%d: %v", k, q, err)
+			}
+			if res.Makespan < b.Makespan {
+				t.Errorf("k=%d q=%d: simulated %d below bound %d", k, q, res.Makespan, b.Makespan)
+			}
+			if Ratio(res.Makespan, b) < 1 {
+				t.Errorf("k=%d q=%d: competitive ratio below 1", k, q)
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package memlog
+
+import (
+	"testing"
+
+	"hbmsim/internal/model"
+)
+
+func TestSliceGetSetLogsAddresses(t *testing.T) {
+	rec := NewRecorder()
+	s := NewSlice[int64](rec, 4, 8)
+	s.Set(0, 10)
+	s.Set(3, 30)
+	if got := s.Get(3); got != 30 {
+		t.Fatalf("Get(3): got %d", got)
+	}
+	if rec.Len() != 3 {
+		t.Fatalf("recorded %d accesses, want 3", rec.Len())
+	}
+	tr, err := rec.Trace(16) // 2 elements per page
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []model.PageID{0, 1, 1} // elem 0 -> page 0; elem 3 -> page 1
+	for i := range want {
+		if tr[i] != want[i] {
+			t.Fatalf("trace: got %v, want %v", tr, want)
+		}
+	}
+}
+
+func TestSwapLogsFourAccesses(t *testing.T) {
+	rec := NewRecorder()
+	s := FromSlice(rec, []int64{1, 2}, 8)
+	s.Swap(0, 1)
+	if rec.Len() != 4 {
+		t.Fatalf("swap logged %d accesses, want 4", rec.Len())
+	}
+	if s.Peek(0) != 2 || s.Peek(1) != 1 {
+		t.Fatalf("swap wrong: %v", s.Raw())
+	}
+}
+
+func TestPeekAndRawDoNotLog(t *testing.T) {
+	rec := NewRecorder()
+	s := FromSlice(rec, []int64{1, 2, 3}, 8)
+	_ = s.Peek(1)
+	_ = s.Raw()
+	if rec.Len() != 0 {
+		t.Fatalf("peek/raw logged %d accesses", rec.Len())
+	}
+}
+
+func TestFromSliceCopies(t *testing.T) {
+	rec := NewRecorder()
+	src := []int64{1, 2}
+	s := FromSlice(rec, src, 8)
+	src[0] = 99
+	if s.Peek(0) != 1 {
+		t.Fatal("FromSlice must copy the input")
+	}
+	if rec.Len() != 0 {
+		t.Fatal("FromSlice must not log")
+	}
+}
+
+func TestDistinctSlicesDisjointAddresses(t *testing.T) {
+	rec := NewRecorder()
+	a := NewSlice[int64](rec, 10, 8)
+	b := NewSlice[int64](rec, 10, 8)
+	a.Get(9)
+	b.Get(0)
+	tr, err := rec.Trace(8) // one element per page
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr[0] == tr[1] {
+		t.Fatalf("slices share addresses: %v", tr)
+	}
+	if tr[1] != tr[0]+1 {
+		t.Fatalf("bump allocation not contiguous: %v", tr)
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	rec := NewRecorder()
+	_ = NewSlice[byte](rec, 3, 1)   // ends at byte 3
+	b := NewSlice[int64](rec, 1, 8) // must start at byte 8, not 3
+	b.Get(0)
+	tr, err := rec.Trace(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr[0] != 1 {
+		t.Fatalf("8-byte slice not aligned: page %d, want 1", tr[0])
+	}
+}
+
+func TestReset(t *testing.T) {
+	rec := NewRecorder()
+	s := NewSlice[int64](rec, 2, 8)
+	s.Get(0)
+	rec.Reset()
+	if rec.Len() != 0 {
+		t.Fatal("reset did not clear the log")
+	}
+	s.Get(1)
+	if rec.Len() != 1 {
+		t.Fatal("recording after reset broken")
+	}
+}
+
+func TestTraceBadPageSize(t *testing.T) {
+	rec := NewRecorder()
+	if _, err := rec.Trace(0); err == nil {
+		t.Fatal("page size 0 accepted")
+	}
+}
+
+func TestNewSlicePanicsOnBadDims(t *testing.T) {
+	rec := NewRecorder()
+	for _, c := range []struct{ n, eb int }{{-1, 8}, {4, 0}, {4, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSlice(%d, %d) should panic", c.n, c.eb)
+				}
+			}()
+			NewSlice[int64](rec, c.n, c.eb)
+		}()
+	}
+}
+
+func TestGenericTypes(t *testing.T) {
+	rec := NewRecorder()
+	f := NewSlice[float64](rec, 2, 8)
+	f.Set(0, 3.5)
+	if f.Get(0) != 3.5 {
+		t.Fatal("float64 slice broken")
+	}
+	s := NewSlice[string](rec, 1, 16)
+	s.Set(0, "hi")
+	if s.Get(0) != "hi" {
+		t.Fatal("string slice broken")
+	}
+}

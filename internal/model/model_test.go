@@ -1,0 +1,29 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRequestString(t *testing.T) {
+	r := Request{Core: 3, Page: 42, Issued: 100, Seq: 7}
+	s := r.String()
+	for _, want := range []string{"core=3", "page=42", "issued=100", "seq=7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Request.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTypeRanges(t *testing.T) {
+	// PageID is 64-bit; CoreID is 32-bit; Tick is 64-bit — the model
+	// assumes billions of pages/ticks but only thousands of cores.
+	var p PageID = 1 << 62
+	if p>>62 != 1 {
+		t.Error("PageID narrower than 64 bits")
+	}
+	var tick Tick = 1 << 62
+	if tick>>62 != 1 {
+		t.Error("Tick narrower than 64 bits")
+	}
+}

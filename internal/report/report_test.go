@@ -1,0 +1,131 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("My Title", "a", "b")
+	tbl.AddRow(1, "x")
+	tbl.AddRow(2.5, "y")
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"My Title", "a", "b", "1", "x", "2.500", "y", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("len: %d", tbl.Len())
+	}
+}
+
+func TestTableRenderNoTitle(t *testing.T) {
+	tbl := NewTable("", "h")
+	tbl.AddRow("v")
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "---") {
+		t.Error("untitled table should not print a rule")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("t", "x", "y")
+	tbl.AddRow(1, 2.0)
+	tbl.AddRow("a,b", "c\"d")
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines: %d\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "x,y" {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], `"a,b"`) {
+		t.Errorf("csv quoting broken: %q", lines[2])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:       "1",
+		-3:      "-3",
+		2.5:     "2.500",
+		0.333:   "0.333",
+		1000000: "1000000",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%g): got %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTableFloat32(t *testing.T) {
+	tbl := NewTable("t", "v")
+	tbl.AddRow(float32(1.5))
+	if tbl.Rows()[0][0] != "1.500" {
+		t.Errorf("float32 cell: %q", tbl.Rows()[0][0])
+	}
+}
+
+func TestChartBasics(t *testing.T) {
+	var buf bytes.Buffer
+	err := Chart(&buf, "ttl", 40, 10,
+		Series{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+		Series{Name: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ttl", "up", "down", "*", "o", "x: [0 .. 2]", "y: [0 .. 2]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Chart(&buf, "none", 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(no data)") {
+		t.Errorf("empty chart output: %s", buf.String())
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	var buf bytes.Buffer
+	// Single point: min == max on both axes must not divide by zero.
+	err := Chart(&buf, "pt", 5, 2, Series{Name: "s", X: []float64{3}, Y: []float64{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("single point not plotted")
+	}
+}
+
+func TestChartClampsTinyDimensions(t *testing.T) {
+	var buf bytes.Buffer
+	err := Chart(&buf, "tiny", 1, 1, Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(buf.String(), "\n")) < 6 {
+		t.Error("tiny dimensions not clamped")
+	}
+}

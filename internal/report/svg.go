@@ -1,0 +1,131 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// svgPalette holds distinguishable series colours.
+var svgPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+// WriteSVG renders the series as a standalone SVG line chart with axes,
+// tick labels, and a legend — the publication-ready counterpart of the
+// ASCII Chart. Points within a series are connected in input order.
+func WriteSVG(w io.Writer, title string, width, height int, series ...Series) error {
+	if width < 240 {
+		width = 240
+	}
+	if height < 160 {
+		height = 160
+	}
+	const (
+		marginL = 64
+		marginR = 16
+		marginT = 36
+		marginB = 44
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			any = true
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if !any {
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	sx := func(x float64) float64 { return float64(marginL) + (x-minX)/(maxX-minX)*plotW }
+	sy := func(y float64) float64 { return float64(marginT) + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-family="sans-serif" font-size="13" font-weight="bold">%s</text>`+"\n",
+		marginL, svgEscape(title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginL, float64(marginT)+plotH, float64(marginL)+plotW, float64(marginT)+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%g" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, float64(marginT)+plotH)
+
+	// Tick labels: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		fy := minY + (maxY-minY)*float64(i)/4
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			sx(fx), float64(marginT)+plotH+16, svgNumber(fx))
+		fmt.Fprintf(&b, `<text x="%d" y="%g" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginL-6, sy(fy)+3, svgNumber(fy))
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/>`+"\n",
+			sx(fx), float64(marginT), sx(fx), float64(marginT)+plotH)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/>`+"\n",
+			marginL, sy(fy), float64(marginL)+plotW, sy(fy))
+	}
+
+	// Series.
+	for si, s := range series {
+		color := svgPalette[si%len(svgPalette)]
+		if len(s.X) > 1 {
+			var pts strings.Builder
+			for i := range s.X {
+				fmt.Fprintf(&pts, "%g,%g ", sx(s.X[i]), sy(s.Y[i]))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				strings.TrimSpace(pts.String()), color)
+		}
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%g" cy="%g" r="2.5" fill="%s"/>`+"\n", sx(s.X[i]), sy(s.Y[i]), color)
+		}
+		// Legend entry.
+		ly := marginT + 14*si
+		fmt.Fprintf(&b, `<rect x="%g" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			float64(marginL)+plotW-110, ly, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%d" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			float64(marginL)+plotW-96, ly+9, svgEscape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// svgEscape escapes XML-special characters in labels.
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// svgNumber formats an axis label compactly.
+func svgNumber(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSVG(&buf, `ratios & "shapes" <1`, 480, 320,
+		Series{Name: "k=250", X: []float64{1, 2, 4, 8}, Y: []float64{1, 1.2, 2.5, 4}},
+		Series{Name: "k=1000", X: []float64{1, 2, 4, 8}, Y: []float64{1, 0.9, 1.5, 3.3}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Must be parseable XML (escaping worked).
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, out)
+		}
+	}
+	for _, want := range []string{"<svg", "polyline", "circle", "k=250", "k=1000", "&amp;", "&quot;", "&lt;1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in SVG", want)
+		}
+	}
+}
+
+func TestWriteSVGEmptySeries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, "empty", 300, 200); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Fatal("no SVG emitted")
+	}
+}
+
+func TestWriteSVGDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	// Single point and clamped dimensions must not divide by zero.
+	err := WriteSVG(&buf, "pt", 10, 10, Series{Name: "s", X: []float64{5}, Y: []float64{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatal("NaN leaked into SVG coordinates")
+	}
+}
+
+func TestSVGNumber(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		2.5:     "2.50",
+		15000:   "15k",
+		2500000: "2.5M",
+		-4:      "-4",
+	}
+	for in, want := range cases {
+		if got := svgNumber(in); got != want {
+			t.Errorf("svgNumber(%g): got %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package stackdist computes LRU stack distances (Mattson et al.'s
+// classic one-pass algorithm) and the miss-ratio curves they induce: the
+// number of misses a trace incurs in an LRU cache of *every* size k at
+// once. The curves explain where the paper's Figure 2 crossovers come
+// from — they locate each workload's working-set knees — and they power an
+// optimal static-partitioning baseline (utility-based partitioning à la
+// Qureshi & Patt) against which the dynamic arbitration policies can be
+// compared.
+package stackdist
+
+import (
+	"fmt"
+	"sort"
+
+	"hbmsim/internal/model"
+	"hbmsim/internal/trace"
+)
+
+// Distances returns, for each access in the trace, its LRU stack distance:
+// the number of distinct pages referenced since the previous access to the
+// same page (so an access hits in an LRU cache of size k iff its distance
+// is <= k). Cold (first) accesses report -1.
+//
+// The implementation is the standard Fenwick-tree formulation and runs in
+// O(n log n).
+func Distances(tr trace.Trace) []int64 {
+	out := make([]int64, len(tr))
+	bit := newFenwick(len(tr))
+	last := make(map[model.PageID]int, 256)
+	for i, p := range tr {
+		if j, ok := last[p]; ok {
+			// Distinct pages since j = number of "most recent use"
+			// markers in (j, i), plus the page itself.
+			out[i] = int64(bit.sumRange(j+1, i-1)) + 1
+			bit.add(j, -1)
+		} else {
+			out[i] = -1
+		}
+		bit.add(i, 1)
+		last[p] = i
+	}
+	return out
+}
+
+// fenwick is a Fenwick (binary indexed) tree over positions 0..n-1.
+type fenwick struct {
+	tree []int32
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int32, n+1)} }
+
+func (f *fenwick) add(i int, delta int32) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// sum returns the prefix sum over [0, i].
+func (f *fenwick) sum(i int) int32 {
+	var s int32
+	for i++; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// sumRange returns the sum over [lo, hi]; empty when lo > hi.
+func (f *fenwick) sumRange(lo, hi int) int32 {
+	if lo > hi {
+		return 0
+	}
+	s := f.sum(hi)
+	if lo > 0 {
+		s -= f.sum(lo - 1)
+	}
+	return s
+}
+
+// Curve is a miss-ratio curve: for any cache size k it answers how many
+// LRU misses the trace incurs.
+type Curve struct {
+	// distances holds the sorted finite stack distances.
+	distances []int64
+	// cold counts first-touch accesses (misses at every size).
+	cold uint64
+	// total is the trace length.
+	total uint64
+	// unique is the number of distinct pages.
+	unique int
+}
+
+// CurveOf computes the miss-ratio curve of one trace.
+func CurveOf(tr trace.Trace) Curve {
+	ds := Distances(tr)
+	c := Curve{total: uint64(len(tr))}
+	fin := make([]int64, 0, len(ds))
+	for _, d := range ds {
+		if d < 0 {
+			c.cold++
+		} else {
+			fin = append(fin, d)
+		}
+	}
+	sort.Slice(fin, func(i, j int) bool { return fin[i] < fin[j] })
+	c.distances = fin
+	c.unique = int(c.cold)
+	return c
+}
+
+// Total returns the trace length.
+func (c Curve) Total() uint64 { return c.total }
+
+// Unique returns the number of distinct pages (== cold misses).
+func (c Curve) Unique() int { return c.unique }
+
+// Misses returns the number of LRU misses in a cache of size k (k >= 0;
+// k = 0 misses everything).
+func (c Curve) Misses(k int) uint64 {
+	if k <= 0 {
+		return c.total
+	}
+	// Misses = cold + finite distances > k.
+	idx := sort.Search(len(c.distances), func(i int) bool { return c.distances[i] > int64(k) })
+	return c.cold + uint64(len(c.distances)-idx)
+}
+
+// MissRatio returns Misses(k) / Total, or 0 for an empty trace.
+func (c Curve) MissRatio(k int) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.Misses(k)) / float64(c.total)
+}
+
+// DistanceQuantile returns the q-quantile (0..1) of the finite stack
+// distances — e.g. 0.9 answers "a cache of what size would catch 90% of
+// the reuses?". Returns 0 when there are no reuses.
+func (c Curve) DistanceQuantile(q float64) int64 {
+	if len(c.distances) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.distances[0]
+	}
+	if q >= 1 {
+		return c.distances[len(c.distances)-1]
+	}
+	i := int(q * float64(len(c.distances)-1))
+	return c.distances[i]
+}
+
+// OptimalPartition splits k cache slots among the cores to minimise total
+// LRU misses under static partitioning, using lookahead greedy marginal
+// utility (Qureshi & Patt's utility-based partitioning): repeatedly give
+// some core the block of slots with the highest miss reduction *per slot*.
+// The lookahead handles the non-convex knees cyclic workloads produce
+// (where one extra slot gains nothing but four extra slots gain
+// everything). It returns the per-core allocation and the resulting total
+// misses.
+func OptimalPartition(curves []Curve, k int) (alloc []int, totalMisses uint64, err error) {
+	if k < 0 {
+		return nil, 0, fmt.Errorf("stackdist: negative capacity %d", k)
+	}
+	alloc = make([]int, len(curves))
+	misses := make([]uint64, len(curves))
+	for i, c := range curves {
+		misses[i] = c.Misses(0)
+	}
+	remaining := k
+	for remaining > 0 {
+		best, bestD := -1, 0
+		bestRate := 0.0
+		for i, c := range curves {
+			// Best miss reduction per slot over all lookahead depths.
+			for d := 1; d <= remaining; d++ {
+				next := c.Misses(alloc[i] + d)
+				gain := float64(misses[i] - next)
+				if gain == 0 {
+					continue
+				}
+				if rate := gain / float64(d); rate > bestRate {
+					bestRate = rate
+					best = i
+					bestD = d
+				}
+			}
+		}
+		if best < 0 {
+			break // no core benefits from more slots
+		}
+		alloc[best] += bestD
+		misses[best] = curves[best].Misses(alloc[best])
+		remaining -= bestD
+	}
+	for _, m := range misses {
+		totalMisses += m
+	}
+	return alloc, totalMisses, nil
+}
+
+// EvenPartition computes the total misses when k slots are split evenly
+// (the effect FIFO arbitration approximates: HBM "spread like butter
+// scraped over too much bread").
+func EvenPartition(curves []Curve, k int) uint64 {
+	if len(curves) == 0 {
+		return 0
+	}
+	share := k / len(curves)
+	extra := k % len(curves)
+	var total uint64
+	for i, c := range curves {
+		kk := share
+		if i < extra {
+			kk++
+		}
+		total += c.Misses(kk)
+	}
+	return total
+}

@@ -1,0 +1,64 @@
+package sweep
+
+import (
+	"hbmsim/internal/core"
+	"hbmsim/internal/stats"
+)
+
+// Replicated aggregates several runs of one job that differ only in their
+// random seed, answering "how seed-sensitive is this configuration?".
+type Replicated struct {
+	// Job is the base job (its Config.Seed is the first replica's seed).
+	Job Job
+	// Makespan, Inconsistency, and ResponseMean aggregate the replicas'
+	// metrics.
+	Makespan      stats.Welford
+	Inconsistency stats.Welford
+	ResponseMean  stats.Welford
+	// Results holds the individual runs, in replica order.
+	Results []*core.Result
+	// Err is the first error among the replicas, if any.
+	Err error
+}
+
+// seedStride separates replica seeds far enough that the simulator's
+// internal seed offsets (+1..+4) can never collide across replicas.
+const seedStride = 1 << 20
+
+// RunReplicated executes every job `replicas` times (seeds Seed,
+// Seed+stride, ...) on the worker pool and aggregates per-job statistics.
+// replicas < 1 is treated as 1.
+func RunReplicated(jobs []Job, replicas, workers int) []Replicated {
+	if replicas < 1 {
+		replicas = 1
+	}
+	// Expand into a flat job list so the pool stays saturated.
+	expanded := make([]Job, 0, len(jobs)*replicas)
+	for _, j := range jobs {
+		for r := 0; r < replicas; r++ {
+			jr := j
+			jr.Config.Seed += int64(r) * seedStride
+			expanded = append(expanded, jr)
+		}
+	}
+	rows := Run(expanded, workers)
+
+	out := make([]Replicated, len(jobs))
+	for i, j := range jobs {
+		agg := Replicated{Job: j}
+		for r := 0; r < replicas; r++ {
+			row := rows[i*replicas+r]
+			agg.Results = append(agg.Results, row.Result)
+			if row.Err != nil && agg.Err == nil {
+				agg.Err = row.Err
+			}
+			if row.Result != nil {
+				agg.Makespan.Add(float64(row.Result.Makespan))
+				agg.Inconsistency.Add(row.Result.Inconsistency)
+				agg.ResponseMean.Add(row.Result.ResponseMean)
+			}
+		}
+		out[i] = agg
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+// Package sweep runs batches of independent simulations in parallel — the
+// machinery behind the paper's parameter sweep ("we varied the size of HBM,
+// the source of the access traces, the number of cores, ... the number of
+// channels to DRAM, and whether the DRAM queue is FIFO or Priority").
+//
+// Each Job is one (configuration, workload) point; Run fans the jobs out
+// over a bounded worker pool and returns results in job order, so callers
+// get deterministic tables regardless of scheduling.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hbmsim/internal/core"
+	"hbmsim/internal/trace"
+)
+
+// Job is one simulation point in a sweep.
+type Job struct {
+	// Name labels the point in reports, e.g. "fifo p=50 k=1000".
+	Name string
+	// Config is the simulator configuration to run.
+	Config core.Config
+	// Workload is the input; it is read-only and may be shared by many
+	// jobs.
+	Workload *trace.Workload
+}
+
+// Row is the outcome of one Job.
+type Row struct {
+	Job Job
+	// Result is the simulation summary; non-nil even when Err is a
+	// truncation (the partial result is preserved).
+	Result *core.Result
+	// Err reports a configuration error or truncation.
+	Err error
+}
+
+// Run executes the jobs on min(workers, len(jobs)) goroutines and returns
+// one Row per Job, in job order. workers <= 0 selects GOMAXPROCS.
+func Run(jobs []Job, workers int) []Row {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	rows := make([]Row, len(jobs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				job := jobs[i]
+				res, err := core.Run(job.Config, job.Workload.Raw())
+				rows[i] = Row{Job: job, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return rows
+}
+
+// FirstError returns the first non-nil error among the rows, wrapped with
+// its job name, or nil.
+func FirstError(rows []Row) error {
+	for _, r := range rows {
+		if r.Err != nil {
+			return fmt.Errorf("sweep: job %q: %w", r.Job.Name, r.Err)
+		}
+	}
+	return nil
+}

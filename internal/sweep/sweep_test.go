@@ -1,0 +1,117 @@
+package sweep
+
+import (
+	"fmt"
+	"testing"
+
+	"hbmsim/internal/core"
+	"hbmsim/internal/trace"
+)
+
+func testWorkload() *trace.Workload {
+	return trace.NewWorkload("w", []trace.Trace{
+		{0, 1, 2, 0, 1, 2},
+		{0, 1, 0, 1},
+	})
+}
+
+func TestRunOrderPreserved(t *testing.T) {
+	wl := testWorkload()
+	var jobs []Job
+	for i := 0; i < 20; i++ {
+		jobs = append(jobs, Job{
+			Name:     fmt.Sprintf("job-%d", i),
+			Config:   core.Config{HBMSlots: 2 + i, Channels: 1},
+			Workload: wl,
+		})
+	}
+	rows := Run(jobs, 4)
+	if len(rows) != len(jobs) {
+		t.Fatalf("rows: %d, want %d", len(rows), len(jobs))
+	}
+	for i, r := range rows {
+		if r.Job.Name != jobs[i].Name {
+			t.Fatalf("row %d holds job %q", i, r.Job.Name)
+		}
+		if r.Err != nil {
+			t.Fatalf("job %d failed: %v", i, r.Err)
+		}
+		if r.Result == nil || r.Result.TotalRefs != wl.TotalRefs() {
+			t.Fatalf("job %d result wrong: %+v", i, r.Result)
+		}
+	}
+	if err := FirstError(rows); err != nil {
+		t.Fatalf("FirstError on clean rows: %v", err)
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	wl := testWorkload()
+	jobs := []Job{
+		{Name: "good", Config: core.Config{HBMSlots: 4, Channels: 1}, Workload: wl},
+		{Name: "bad", Config: core.Config{HBMSlots: 0, Channels: 1}, Workload: wl},
+	}
+	rows := Run(jobs, 2)
+	if rows[0].Err != nil {
+		t.Fatalf("good job errored: %v", rows[0].Err)
+	}
+	if rows[1].Err == nil {
+		t.Fatal("bad job did not error")
+	}
+	err := FirstError(rows)
+	if err == nil {
+		t.Fatal("FirstError missed the failure")
+	}
+	if want := `job "bad"`; !contains(err.Error(), want) {
+		t.Fatalf("error %q does not name the job", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRunWorkerClamping(t *testing.T) {
+	wl := testWorkload()
+	jobs := []Job{{Name: "solo", Config: core.Config{HBMSlots: 2, Channels: 1}, Workload: wl}}
+	for _, workers := range []int{-1, 0, 1, 100} {
+		rows := Run(jobs, workers)
+		if len(rows) != 1 || rows[0].Err != nil {
+			t.Fatalf("workers=%d: %+v", workers, rows)
+		}
+	}
+}
+
+func TestRunEmptyJobs(t *testing.T) {
+	rows := Run(nil, 4)
+	if len(rows) != 0 {
+		t.Fatalf("empty jobs returned %d rows", len(rows))
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	wl := testWorkload()
+	mk := func() []Job {
+		var jobs []Job
+		for i := 0; i < 8; i++ {
+			jobs = append(jobs, Job{
+				Name:     fmt.Sprintf("j%d", i),
+				Config:   core.Config{HBMSlots: 3, Channels: 1, Seed: int64(i)},
+				Workload: wl,
+			})
+		}
+		return jobs
+	}
+	serial := Run(mk(), 1)
+	parallel := Run(mk(), 8)
+	for i := range serial {
+		if serial[i].Result.Makespan != parallel[i].Result.Makespan {
+			t.Fatalf("job %d differs across worker counts", i)
+		}
+	}
+}

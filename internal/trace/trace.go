@@ -1,0 +1,173 @@
+// Package trace represents page-reference traces and workloads: one
+// reference sequence per core, with helpers to map addresses to pages,
+// enforce the model's disjointness property, and persist traces to disk.
+package trace
+
+import (
+	"fmt"
+
+	"hbmsim/internal/model"
+)
+
+// Trace is one core's page-reference sequence.
+type Trace []model.PageID
+
+// Workload is a set of per-core traces plus a human-readable name. The
+// model (Property 1) requires the page sets of distinct cores to be
+// mutually exclusive; NewWorkload enforces that by renumbering.
+type Workload struct {
+	// Name identifies the workload in reports.
+	Name string
+	// Traces holds one reference sequence per core.
+	Traces []Trace
+}
+
+// NewWorkload builds a disjoint workload from per-core traces that may
+// share page numbers (e.g. p independent runs of the same program): each
+// core's pages are renumbered into a private dense range, preserving the
+// reference structure within the core.
+func NewWorkload(name string, traces []Trace) *Workload {
+	out := make([]Trace, len(traces))
+	var base model.PageID
+	for i, tr := range traces {
+		remap := make(map[model.PageID]model.PageID, 64)
+		nt := make(Trace, len(tr))
+		for j, p := range tr {
+			np, ok := remap[p]
+			if !ok {
+				np = base + model.PageID(len(remap))
+				remap[p] = np
+			}
+			nt[j] = np
+		}
+		base += model.PageID(len(remap))
+		out[i] = nt
+	}
+	return &Workload{Name: name, Traces: out}
+}
+
+// Raw wraps traces already known to be disjoint without renumbering.
+func Raw(name string, traces []Trace) *Workload {
+	return &Workload{Name: name, Traces: traces}
+}
+
+// Cores returns the number of cores (traces).
+func (w *Workload) Cores() int { return len(w.Traces) }
+
+// TotalRefs returns the total number of references across all cores.
+func (w *Workload) TotalRefs() uint64 {
+	var n uint64
+	for _, t := range w.Traces {
+		n += uint64(len(t))
+	}
+	return n
+}
+
+// MaxTraceLen returns the length of the longest trace.
+func (w *Workload) MaxTraceLen() int {
+	max := 0
+	for _, t := range w.Traces {
+		if len(t) > max {
+			max = len(t)
+		}
+	}
+	return max
+}
+
+// UniquePages returns the number of distinct pages across the workload.
+func (w *Workload) UniquePages() int {
+	seen := make(map[model.PageID]struct{})
+	for _, t := range w.Traces {
+		for _, p := range t {
+			seen[p] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// UniquePagesPerCore returns each core's distinct-page count.
+func (w *Workload) UniquePagesPerCore() []int {
+	out := make([]int, len(w.Traces))
+	for i, t := range w.Traces {
+		seen := make(map[model.PageID]struct{})
+		for _, p := range t {
+			seen[p] = struct{}{}
+		}
+		out[i] = len(seen)
+	}
+	return out
+}
+
+// Validate checks the model's Property 1: the page sets of distinct cores
+// must be mutually exclusive.
+func (w *Workload) Validate() error {
+	owner := make(map[model.PageID]int)
+	for i, t := range w.Traces {
+		for _, p := range t {
+			if prev, ok := owner[p]; ok && prev != i {
+				return fmt.Errorf("trace: page %d referenced by both core %d and core %d (traces must be disjoint)", p, prev, i)
+			}
+			owner[p] = i
+		}
+	}
+	return nil
+}
+
+// Raw returns the underlying [][]model.PageID for the simulator.
+func (w *Workload) Raw() [][]model.PageID {
+	out := make([][]model.PageID, len(w.Traces))
+	for i, t := range w.Traces {
+		out[i] = t
+	}
+	return out
+}
+
+// Subset returns a workload restricted to the first p cores. It panics if
+// p exceeds the core count.
+func (w *Workload) Subset(p int) *Workload {
+	if p > len(w.Traces) {
+		panic(fmt.Sprintf("trace: subset of %d cores from %d", p, len(w.Traces)))
+	}
+	return &Workload{Name: w.Name, Traces: w.Traces[:p]}
+}
+
+// PageMapper maps raw element indices or byte addresses onto pages.
+type PageMapper struct {
+	// unit is the number of addressable units per page.
+	unit uint64
+}
+
+// NewPageMapper returns a mapper with the given page size, expressed in
+// whatever unit the workload generator addresses (bytes, elements, ...).
+// The paper's preprocessing step ("each array dereference ... is mapped to
+// its page reference") is exactly this mapping. unitsPerPage must be >= 1.
+func NewPageMapper(unitsPerPage int) (PageMapper, error) {
+	if unitsPerPage < 1 {
+		return PageMapper{}, fmt.Errorf("trace: page size must be >= 1 unit, got %d", unitsPerPage)
+	}
+	return PageMapper{unit: uint64(unitsPerPage)}, nil
+}
+
+// Page returns the page containing address a.
+func (m PageMapper) Page(a uint64) model.PageID {
+	return model.PageID(a / m.unit)
+}
+
+// Compact collapses consecutive repeats of the same page. The model serves
+// one reference per tick regardless, so a run of accesses within one page
+// still costs one tick each; Compact is an optional workload-shrinking
+// transformation for spatially local traces and is used by generators that
+// want block-level rather than word-level reference streams.
+func Compact(t Trace) Trace {
+	if len(t) == 0 {
+		return t
+	}
+	out := make(Trace, 0, len(t))
+	out = append(out, t[0])
+	for _, p := range t[1:] {
+		if p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

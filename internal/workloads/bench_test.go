@@ -1,0 +1,39 @@
+package workloads
+
+import "testing"
+
+func BenchmarkSortTraceIntrosort(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SortTrace(SortConfig{N: 4000}, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpGEMMTrace(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SpGEMMTrace(SpGEMMConfig{N: 64}, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdversarialWorkload(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := AdversarialWorkload(64, AdversarialConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSyntheticZipf(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SyntheticTrace(SyntheticConfig{Kind: Zipfian, Refs: 100000, Pages: 4096}, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package workloads
+
+import (
+	"testing"
+
+	"hbmsim/internal/model"
+)
+
+func TestBFSTraceBasics(t *testing.T) {
+	tr, err := BFSTrace(BFSConfig{Vertices: 200, Degree: 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) == 0 {
+		t.Fatal("empty trace")
+	}
+	// Every page must be within the four arrays' footprint.
+	maxPage := model.PageID(0)
+	for _, p := range tr {
+		if p > maxPage {
+			maxPage = p
+		}
+	}
+	// rowPtr(n+1) + col(<=2*deg*n) + visited(n) + queue(n) int64s.
+	maxBytes := uint64(200+1+2*4*200+200+200) * 8
+	if uint64(maxPage) > maxBytes/uint64(DefaultPageBytes)+1 {
+		t.Fatalf("page %d beyond the arrays' footprint", maxPage)
+	}
+}
+
+func TestBFSVisitsEveryVertex(t *testing.T) {
+	// The full-coverage restart loop touches visited[v] for every v, so
+	// the trace length is at least n reads of visited plus the queue
+	// traffic for every visited vertex.
+	const n = 64
+	tr, err := BFSTrace(BFSConfig{Vertices: n, Degree: 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) < 3*n {
+		t.Fatalf("trace too short for full coverage: %d refs", len(tr))
+	}
+}
+
+func TestBFSDeterministic(t *testing.T) {
+	a, err := BFSTrace(BFSConfig{Vertices: 100}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BFSTrace(BFSConfig{Vertices: 100}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d", i)
+		}
+	}
+}
+
+func TestBFSErrors(t *testing.T) {
+	if _, err := BFSTrace(BFSConfig{Vertices: 0}, 1); err == nil {
+		t.Fatal("zero vertices accepted")
+	}
+	if _, err := BFSTrace(BFSConfig{Vertices: 4, Degree: -1}, 1); err == nil {
+		t.Fatal("negative degree accepted")
+	}
+}
+
+func TestBFSWorkloadDisjoint(t *testing.T) {
+	wl, err := BFSWorkload(3, BFSConfig{Vertices: 80, Degree: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if wl.Cores() != 3 {
+		t.Fatalf("cores: %d", wl.Cores())
+	}
+}

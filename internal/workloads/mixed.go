@@ -1,0 +1,47 @@
+package workloads
+
+import (
+	"fmt"
+
+	"hbmsim/internal/trace"
+)
+
+// MixedSpec assigns a number of cores to one generator within a mixed
+// workload.
+type MixedSpec struct {
+	// Cores is how many cores run this generator.
+	Cores int
+	// Gen produces one core's trace from a seed.
+	Gen Gen
+	// Name labels the component in the workload name.
+	Name string
+}
+
+// Mixed builds a heterogeneous workload: different cores run different
+// programs (the paper's future-work direction "test different workloads";
+// its own experiments give every core the same program). Components are
+// laid out in spec order; the result is renumbered into disjoint pages.
+func Mixed(specs []MixedSpec, baseSeed int64) (*trace.Workload, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("workloads: mixed workload needs at least one component")
+	}
+	var traces []trace.Trace
+	name := "mixed"
+	seed := baseSeed
+	for i, sp := range specs {
+		if sp.Cores <= 0 {
+			return nil, fmt.Errorf("workloads: component %d has %d cores", i, sp.Cores)
+		}
+		if sp.Gen == nil {
+			return nil, fmt.Errorf("workloads: component %d has no generator", i)
+		}
+		part, err := Build(sp.Name, sp.Cores, seed, sp.Gen)
+		if err != nil {
+			return nil, fmt.Errorf("workloads: component %d (%s): %w", i, sp.Name, err)
+		}
+		seed += int64(sp.Cores)
+		traces = append(traces, part.Traces...)
+		name += fmt.Sprintf("+%dx%s", sp.Cores, sp.Name)
+	}
+	return trace.NewWorkload(name, traces), nil
+}

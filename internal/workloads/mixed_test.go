@@ -1,0 +1,75 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"hbmsim/internal/trace"
+)
+
+func TestMixedBuildsDisjointComponents(t *testing.T) {
+	wl, err := Mixed([]MixedSpec{
+		{Cores: 2, Name: "loop", Gen: func(seed int64) (trace.Trace, error) {
+			return AdversarialTrace(AdversarialConfig{Pages: 4, Reps: 2})
+		}},
+		{Cores: 3, Name: "rand", Gen: func(seed int64) (trace.Trace, error) {
+			return SyntheticTrace(SyntheticConfig{Refs: 10, Pages: 5}, seed)
+		}},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Cores() != 5 {
+		t.Fatalf("cores: %d", wl.Cores())
+	}
+	if err := wl.Validate(); err != nil {
+		t.Fatalf("not disjoint: %v", err)
+	}
+	if !strings.Contains(wl.Name, "2xloop") || !strings.Contains(wl.Name, "3xrand") {
+		t.Fatalf("name: %q", wl.Name)
+	}
+	// Component layout: first two cores are the 8-ref loops.
+	if len(wl.Traces[0]) != 8 || len(wl.Traces[4]) != 10 {
+		t.Fatalf("layout wrong: %d / %d", len(wl.Traces[0]), len(wl.Traces[4]))
+	}
+}
+
+func TestMixedSeedsDistinctAcrossComponents(t *testing.T) {
+	seen := map[int64]int{}
+	gen := func(seed int64) (trace.Trace, error) {
+		seen[seed]++
+		return trace.Trace{1}, nil
+	}
+	if _, err := Mixed([]MixedSpec{
+		{Cores: 2, Name: "a", Gen: gen},
+		{Cores: 2, Name: "b", Gen: gen},
+	}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("expected 4 distinct seeds, got %v", seen)
+	}
+	for s, n := range seen {
+		if n != 1 {
+			t.Fatalf("seed %d used %d times", s, n)
+		}
+	}
+}
+
+func TestMixedErrors(t *testing.T) {
+	if _, err := Mixed(nil, 1); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := Mixed([]MixedSpec{{Cores: 0, Name: "x", Gen: func(int64) (trace.Trace, error) { return nil, nil }}}, 1); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := Mixed([]MixedSpec{{Cores: 1, Name: "x"}}, 1); err == nil {
+		t.Fatal("nil generator accepted")
+	}
+	bad := func(int64) (trace.Trace, error) {
+		return SyntheticTrace(SyntheticConfig{Refs: -1, Pages: 1}, 0)
+	}
+	if _, err := Mixed([]MixedSpec{{Cores: 1, Name: "bad", Gen: bad}}, 1); err == nil {
+		t.Fatal("generator error not propagated")
+	}
+}

@@ -1,0 +1,86 @@
+// Package workloads generates the page-reference workloads of the paper's
+// evaluation (§3.2):
+//
+//   - Dataset 1: GNU sort. libstdc++'s std::sort is introsort; we run a
+//     faithful introsort (plus mergesort/quicksort/heapsort variants, which
+//     the paper's sweep also mentions) over instrumented arrays.
+//   - Dataset 2: TACO-style sparse matrix-matrix multiplication
+//     (Gustavson's algorithm over CSR with a dense workspace).
+//   - Dataset 3: the adversarial trace 1,2,...,256 repeated 100 times that
+//     makes FIFO catastrophically slow.
+//   - Supporting kernels and synthetic streams (dense matmul, STREAM triad,
+//     uniform/zipfian/strided) used by the ablation experiments.
+//
+// Every generator is deterministic in its seed. A workload's per-core
+// traces come from independent runs of the same program with different
+// randomness, exactly as in the paper.
+package workloads
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hbmsim/internal/trace"
+)
+
+// DefaultPageBytes is the page size used by all generators unless
+// overridden: 4 KiB, the usual OS page.
+const DefaultPageBytes = 4096
+
+// Gen produces one core's page trace from a seed.
+type Gen func(seed int64) (trace.Trace, error)
+
+// Build runs gen once per core (with seeds baseSeed, baseSeed+1, ...) in
+// parallel and assembles the disjoint workload. Generation is embarrassingly
+// parallel, so it fans out across goroutines.
+func Build(name string, cores int, baseSeed int64, gen Gen) (*trace.Workload, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("workloads: core count must be positive, got %d", cores)
+	}
+	traces := make([]trace.Trace, cores)
+	errs := make([]error, cores)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < cores; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			traces[i], errs[i] = gen(baseSeed + int64(i))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("workloads: generating core %d: %w", i, err)
+		}
+	}
+	return trace.NewWorkload(name, traces), nil
+}
+
+// Imbalance truncates each core's trace to a fraction of its length that
+// ramps linearly from minFrac (core 0) to 1.0 (last core), producing the
+// asymmetric-work workloads used to study Cycle Priority's robustness (§4:
+// "When the work is asymmetric, Cycle Priority continuously places the same
+// thread behind the most demanding thread").
+func Imbalance(wl *trace.Workload, minFrac float64) (*trace.Workload, error) {
+	if minFrac <= 0 || minFrac > 1 {
+		return nil, fmt.Errorf("workloads: minFrac must be in (0, 1], got %g", minFrac)
+	}
+	p := len(wl.Traces)
+	out := make([]trace.Trace, p)
+	for i, t := range wl.Traces {
+		frac := 1.0
+		if p > 1 {
+			frac = minFrac + (1-minFrac)*float64(i)/float64(p-1)
+		}
+		n := int(frac * float64(len(t)))
+		if n < 1 && len(t) > 0 {
+			n = 1
+		}
+		out[i] = t[:n]
+	}
+	return trace.Raw(wl.Name+"-imbalanced", out), nil
+}

@@ -1,0 +1,85 @@
+package workloads
+
+import (
+	"testing"
+
+	"hbmsim/internal/trace"
+)
+
+func TestBuildParallelDeterministic(t *testing.T) {
+	gen := func(seed int64) (trace.Trace, error) {
+		return SyntheticTrace(SyntheticConfig{Refs: 50, Pages: 10}, seed)
+	}
+	a, err := Build("w", 8, 1, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build("w", 8, 1, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Traces {
+		for j := range a.Traces[i] {
+			if a.Traces[i][j] != b.Traces[i][j] {
+				t.Fatalf("build not deterministic at core %d ref %d", i, j)
+			}
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("built workload not disjoint: %v", err)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	gen := func(seed int64) (trace.Trace, error) {
+		return SyntheticTrace(SyntheticConfig{Refs: -1, Pages: 10}, seed)
+	}
+	if _, err := Build("w", 2, 1, gen); err == nil {
+		t.Fatal("generator errors must propagate")
+	}
+	ok := func(int64) (trace.Trace, error) { return trace.Trace{1}, nil }
+	if _, err := Build("w", 0, 1, ok); err == nil {
+		t.Fatal("zero cores should be rejected")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	base := trace.Raw("b", []trace.Trace{
+		make(trace.Trace, 100), make(trace.Trace, 100), make(trace.Trace, 100),
+	})
+	wl, err := Imbalance(base, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Traces[0]) != 50 || len(wl.Traces[1]) != 75 || len(wl.Traces[2]) != 100 {
+		t.Fatalf("imbalance lengths: %d/%d/%d", len(wl.Traces[0]), len(wl.Traces[1]), len(wl.Traces[2]))
+	}
+	if _, err := Imbalance(base, 0); err == nil {
+		t.Fatal("minFrac 0 should be rejected")
+	}
+	if _, err := Imbalance(base, 1.5); err == nil {
+		t.Fatal("minFrac > 1 should be rejected")
+	}
+}
+
+func TestImbalanceSingleCore(t *testing.T) {
+	base := trace.Raw("b", []trace.Trace{make(trace.Trace, 10)})
+	wl, err := Imbalance(base, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Traces[0]) != 10 {
+		t.Fatalf("single core should keep full trace, got %d", len(wl.Traces[0]))
+	}
+}
+
+func TestImbalanceKeepsAtLeastOneRef(t *testing.T) {
+	base := trace.Raw("b", []trace.Trace{{1, 2}, {3, 4}})
+	wl, err := Imbalance(base, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Traces[0]) < 1 {
+		t.Fatal("imbalance truncated a trace to zero")
+	}
+}
