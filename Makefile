@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench fuzz repro repro-full figures clean
+.PHONY: all build vet test test-short test-race bench fuzz repro repro-full figures clean
 
-all: build vet test
+all: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,12 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# The simulator is single-goroutine, but collectors may be handed to
+# callers that step simulations from multiple goroutines; keep the tree
+# race-clean.
+test-race:
+	$(GO) test -race ./...
 
 # One benchmark per paper table/figure plus component micro-benchmarks.
 bench:

@@ -1,18 +1,22 @@
 package main
 
 import (
+	"bytes"
 	"encoding/csv"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"hbmsim"
 )
 
-func TestRunWithEventLog(t *testing.T) {
+func TestRunObservedEventLog(t *testing.T) {
 	wl := hbmsim.NewWorkload("w", []hbmsim.Trace{{0, 1, 0}, {5}})
 	path := filepath.Join(t.TempDir(), "events.csv")
-	res, err := runWithEventLog(hbmsim.Config{HBMSlots: 4, Channels: 1}, wl, path)
+	res, _, err := runObserved(hbmsim.Config{HBMSlots: 4, Channels: 1}, wl,
+		telemetryOptions{eventsPath: path})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,10 +49,86 @@ func TestRunWithEventLog(t *testing.T) {
 	}
 }
 
-func TestRunWithEventLogBadPath(t *testing.T) {
+func TestRunObservedAllCollectors(t *testing.T) {
+	wl, err := hbmsim.AdversarialWorkload(8, hbmsim.AdversarialConfig{Pages: 32, Reps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	opts := telemetryOptions{
+		eventsPath:   filepath.Join(dir, "events.csv"),
+		timelinePath: filepath.Join(dir, "timeline.csv"),
+		window:       64,
+		perfettoPath: filepath.Join(dir, "trace.json"),
+		heatTop:      5,
+		watchGap:     10,
+	}
+	cfg := hbmsim.Config{
+		HBMSlots: hbmsim.AdversarialHBMSlots(8, hbmsim.AdversarialConfig{Pages: 32, Reps: 4}),
+		Channels: 1, Arbiter: hbmsim.ArbiterPriority,
+		Permuter: hbmsim.PermuterDynamic, RemapPeriod: 128, Seed: 1,
+	}
+	res, col, err := runObserved(cfg, wl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The plain run must agree: observers are passive.
+	plain, err := hbmsim.Run(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Makespan != res.Makespan || plain.Hits != res.Hits {
+		t.Errorf("observed run diverged: %v vs %v", plain, res)
+	}
+
+	// Perfetto file parses as JSON.
+	raw, err := os.ReadFile(opts.perfettoPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("perfetto output invalid: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("perfetto trace is empty")
+	}
+
+	// Timeline CSV has one row per window plus header.
+	tf, err := os.Open(opts.timelinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	rows, err := csv.NewReader(tf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(col.timeline.Windows())+1 {
+		t.Errorf("timeline CSV rows %d != windows %d + header", len(rows), len(col.timeline.Windows()))
+	}
+	if !strings.Contains(strings.Join(rows[0], ","), "jain_fairness") {
+		t.Errorf("timeline header lacks jain_fairness: %v", rows[0])
+	}
+
+	// Collector report renders.
+	var buf bytes.Buffer
+	if err := col.report(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Hottest pages", "Starvation episodes", "timeline windows"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("collector report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunObservedBadPath(t *testing.T) {
 	wl := hbmsim.NewWorkload("w", []hbmsim.Trace{{0}})
-	if _, err := runWithEventLog(hbmsim.Config{HBMSlots: 4, Channels: 1}, wl,
-		filepath.Join(t.TempDir(), "nodir", "x.csv")); err == nil {
+	if _, _, err := runObserved(hbmsim.Config{HBMSlots: 4, Channels: 1}, wl,
+		telemetryOptions{eventsPath: filepath.Join(t.TempDir(), "nodir", "x.csv")}); err == nil {
 		t.Fatal("unwritable path accepted")
 	}
 }

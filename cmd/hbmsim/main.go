@@ -6,15 +6,16 @@
 //
 //	hbmsim -trace sort.hbmt -k 1000 -q 1 -arbiter priority -permuter dynamic -T 10000
 //	hbmsim -gen spgemm -cores 64 -k 1000 -arbiter fifo
+//	hbmsim -gen adversarial -cores 32 -arbiter priority -permuter dynamic -T 2560 \
+//	    -perfetto out.json -timeline out.csv -heatmap 10 -watchdog 500
 package main
 
 import (
-	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 
 	"hbmsim"
 
@@ -38,7 +39,12 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		percore   = flag.Bool("percore", false, "print per-core summaries")
 		asJSON    = flag.Bool("json", false, "emit the full result as JSON instead of a table")
-		eventsCSV = flag.String("events", "", "dump every serve/fetch/evict event as CSV to this file (slow)")
+		eventsCSV = flag.String("events", "", "stream every event as buffered CSV to this file")
+		timeline  = flag.String("timeline", "", "write windowed time-series metrics as CSV to this file")
+		window    = flag.Uint64("window", 0, "timeline window width in ticks (0 = T when set, else 1024)")
+		perfetto  = flag.String("perfetto", "", "write a Chrome trace-event JSON for ui.perfetto.dev to this file")
+		heatTop   = flag.Int("heatmap", 0, "print the N hottest pages by fetch count")
+		watchGap  = flag.Uint64("watchdog", 0, "flag starvation episodes with serve gaps above this many ticks")
 	)
 	flag.Parse()
 
@@ -71,14 +77,26 @@ func main() {
 		fail(err)
 	}
 
+	tele := telemetryOptions{
+		eventsPath:   *eventsCSV,
+		timelinePath: *timeline,
+		window:       hbmsim.Tick(*window),
+		perfettoPath: *perfetto,
+		heatTop:      *heatTop,
+		watchGap:     hbmsim.Tick(*watchGap),
+	}
 	var res *hbmsim.Result
-	if *eventsCSV != "" {
-		res, err = runWithEventLog(cfg, wl, *eventsCSV)
+	var col *collectors
+	if tele.enabled() {
+		res, col, err = runObserved(cfg, wl, tele)
 	} else {
 		res, err = hbmsim.Run(cfg, wl)
 	}
 	if err != nil {
-		if res == nil {
+		// A truncated run still has meaningful partial metrics; anything
+		// else (e.g. an unwritable output file) is fatal.
+		var trunc *hbmsim.TruncatedError
+		if res == nil || !errors.As(err, &trunc) {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "hbmsim: warning: %v\n", err)
@@ -127,6 +145,12 @@ func main() {
 			fail(err)
 		}
 	}
+
+	if col != nil {
+		if err := col.report(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
 }
 
 func loadWorkload(tracePath, gen string, cores, size, pageBytes int, seed int64) (*hbmsim.Workload, error) {
@@ -163,55 +187,6 @@ func generate(gen string, cores, size, pageBytes int, seed int64) (*hbmsim.Workl
 	default:
 		return nil, fmt.Errorf("hbmsim: unknown generator %q", gen)
 	}
-}
-
-// csvObserver streams simulation events to a CSV writer.
-type csvObserver struct {
-	w *csv.Writer
-}
-
-func (o *csvObserver) OnServe(core hbmsim.CoreID, page hbmsim.PageID, tick, response hbmsim.Tick) {
-	o.w.Write([]string{"serve", strconv.FormatUint(uint64(tick), 10),
-		strconv.Itoa(int(core)), strconv.FormatUint(uint64(page), 10),
-		strconv.FormatUint(uint64(response), 10)})
-}
-
-func (o *csvObserver) OnFetch(core hbmsim.CoreID, page hbmsim.PageID, tick hbmsim.Tick) {
-	o.w.Write([]string{"fetch", strconv.FormatUint(uint64(tick), 10),
-		strconv.Itoa(int(core)), strconv.FormatUint(uint64(page), 10), ""})
-}
-
-func (o *csvObserver) OnEvict(page hbmsim.PageID, tick hbmsim.Tick) {
-	o.w.Write([]string{"evict", strconv.FormatUint(uint64(tick), 10),
-		"", strconv.FormatUint(uint64(page), 10), ""})
-}
-
-// runWithEventLog drives a stepwise simulation with a CSV event observer
-// attached.
-func runWithEventLog(cfg hbmsim.Config, wl *hbmsim.Workload, path string) (*hbmsim.Result, error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return nil, err
-	}
-	w := csv.NewWriter(f)
-	if err := w.Write([]string{"event", "tick", "core", "page", "response"}); err != nil {
-		f.Close()
-		return nil, err
-	}
-	sim, err := hbmsim.NewSim(cfg, wl)
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	sim.SetObserver(&csvObserver{w: w})
-	for sim.Step() {
-	}
-	w.Flush()
-	if err := w.Error(); err != nil {
-		f.Close()
-		return nil, err
-	}
-	return sim.Result(), f.Close()
 }
 
 func fail(err error) {

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"hbmsim"
+
+	"hbmsim/internal/report"
+)
+
+// telemetryOptions collects the CLI's observability flags.
+type telemetryOptions struct {
+	eventsPath   string
+	timelinePath string
+	window       hbmsim.Tick
+	perfettoPath string
+	heatTop      int
+	watchGap     hbmsim.Tick
+}
+
+func (t telemetryOptions) enabled() bool {
+	return t.eventsPath != "" || t.timelinePath != "" || t.perfettoPath != "" ||
+		t.heatTop > 0 || t.watchGap > 0
+}
+
+// collectors holds the attached telemetry consumers so their findings can
+// be rendered after the run.
+type collectors struct {
+	timeline *hbmsim.Timeline
+	heatmap  *hbmsim.Heatmap
+	watchdog *hbmsim.StarvationWatchdog
+
+	timelinePath string
+	heatTop      int
+}
+
+// runObserved drives a stepwise simulation with the requested telemetry
+// observers attached and finalises their outputs.
+func runObserved(cfg hbmsim.Config, wl *hbmsim.Workload, opts telemetryOptions) (*hbmsim.Result, *collectors, error) {
+	sim, err := hbmsim.NewSim(cfg, wl)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	multi := hbmsim.NewMultiObserver()
+	col := &collectors{timelinePath: opts.timelinePath, heatTop: opts.heatTop}
+	var files []*os.File
+	closeAll := func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}
+
+	var events *hbmsim.EventLog
+	if opts.eventsPath != "" {
+		f, err := os.Create(opts.eventsPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		events = hbmsim.NewEventLog(f)
+		multi.Attach(events)
+	}
+	var perfetto *hbmsim.PerfettoExporter
+	if opts.perfettoPath != "" {
+		f, err := os.Create(opts.perfettoPath)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		files = append(files, f)
+		perfetto = hbmsim.NewPerfetto(f, wl.Cores(), cfg.Channels)
+		if cfg.FetchLatency > 1 {
+			perfetto.SetFetchLatency(hbmsim.Tick(cfg.FetchLatency))
+		}
+		multi.Attach(perfetto)
+	}
+	if opts.timelinePath != "" {
+		window := opts.window
+		if window == 0 {
+			window = cfg.RemapPeriod // 0 falls through to NewTimeline's default
+		}
+		col.timeline = hbmsim.NewTimeline(window, wl.Cores(), cfg.Channels)
+		multi.Attach(col.timeline)
+	}
+	if opts.heatTop > 0 {
+		col.heatmap = hbmsim.NewHeatmap()
+		multi.Attach(col.heatmap)
+	}
+	if opts.watchGap > 0 {
+		col.watchdog = hbmsim.NewStarvationWatchdog(opts.watchGap)
+		multi.Attach(col.watchdog)
+	}
+
+	sim.SetObserver(multi)
+	for sim.Step() {
+	}
+	res := sim.Result()
+
+	if events != nil {
+		if err := events.Flush(); err != nil {
+			closeAll()
+			return res, nil, err
+		}
+	}
+	if perfetto != nil {
+		if err := perfetto.Close(); err != nil {
+			closeAll()
+			return res, nil, err
+		}
+	}
+	if col.timeline != nil {
+		f, err := os.Create(opts.timelinePath)
+		if err != nil {
+			closeAll()
+			return res, nil, err
+		}
+		files = append(files, f)
+		if err := col.timeline.WriteCSV(f); err != nil {
+			closeAll()
+			return res, nil, err
+		}
+	}
+	for _, f := range files {
+		if err := f.Close(); err != nil {
+			return res, nil, err
+		}
+	}
+	if res.Truncated {
+		return res, col, &hbmsim.TruncatedError{Ticks: res.Makespan, Unfinished: unfinished(res)}
+	}
+	return res, col, nil
+}
+
+// unfinished counts cores that never completed (completion tick 0 with
+// references remaining is not distinguishable from the Result alone, so
+// count cores whose serve count is below their trace length proxy: a core
+// with Completion 0 and Refs > 0 was cut off mid-trace).
+func unfinished(res *hbmsim.Result) int {
+	n := 0
+	for _, c := range res.PerCore {
+		if c.Completion == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// report renders the in-process collectors' findings as tables.
+func (c *collectors) report(w io.Writer) error {
+	if c.heatmap != nil {
+		fmt.Fprintln(w)
+		tbl := report.NewTable(
+			fmt.Sprintf("Hottest pages by far-channel fetches (top %d of %d)", c.heatTop, c.heatmap.Pages()),
+			"page", "fetches", "evictions")
+		for _, ph := range c.heatmap.TopN(c.heatTop) {
+			tbl.AddRow(uint64(ph.Page), ph.Fetches, ph.Evictions)
+		}
+		if err := tbl.Render(w); err != nil {
+			return err
+		}
+	}
+	if c.watchdog != nil {
+		fmt.Fprintln(w)
+		eps := c.watchdog.Episodes()
+		const maxRows = 20
+		title := fmt.Sprintf("Starvation episodes (gap > %d ticks): %d", c.watchdog.Threshold(), len(eps))
+		if len(eps) > maxRows {
+			title += fmt.Sprintf(", worst %d shown", maxRows)
+			// Keep the episodes with the largest gaps.
+			sorted := make([]hbmsim.StarvationEpisode, len(eps))
+			copy(sorted, eps)
+			for i := 0; i < maxRows; i++ { // selection of the top rows is enough at this size
+				maxAt := i
+				for j := i + 1; j < len(sorted); j++ {
+					if sorted[j].Gap > sorted[maxAt].Gap {
+						maxAt = j
+					}
+				}
+				sorted[i], sorted[maxAt] = sorted[maxAt], sorted[i]
+			}
+			eps = sorted[:maxRows]
+		}
+		tbl := report.NewTable(title, "core", "from", "to", "gap")
+		for _, e := range eps {
+			tbl.AddRow(int(e.Core), uint64(e.From), uint64(e.To), uint64(e.Gap))
+		}
+		if err := tbl.Render(w); err != nil {
+			return err
+		}
+		core, gap := c.watchdog.MaxGap()
+		fmt.Fprintf(w, "worst serve gap: %d ticks (core %d)\n", gap, core)
+	}
+	if c.timeline != nil {
+		fmt.Fprintf(w, "\nwrote %d timeline windows (%d ticks each) to %s\n",
+			len(c.timeline.Windows()), c.timeline.WindowTicks(), c.timelinePath)
+	}
+	return nil
+}

@@ -27,7 +27,7 @@ var order = []string{
 	"table2a", "table2b", "fig6", "knl-properties",
 	"channels", "replacement", "permuters", "imbalance", "directmap",
 	"mapping", "offline", "augmentation", "latency", "missratio", "responsecdf",
-	"variance",
+	"timeline", "variance",
 }
 
 func main() {

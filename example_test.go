@@ -62,6 +62,68 @@ func ExampleLowerBounds() {
 	// makespan 8, lower bound 5, ratio 1.6
 }
 
+// fetchCounter demonstrates a custom Observer: embedding NopObserver
+// keeps it compiling as the event surface grows, so it only implements
+// the one callback it cares about.
+type fetchCounter struct {
+	hbmsim.NopObserver
+	n int
+}
+
+func (f *fetchCounter) OnFetch(core hbmsim.CoreID, page hbmsim.PageID, tick hbmsim.Tick) { f.n++ }
+
+// ExampleSim_SetObserver attaches observers to a stepwise simulation.
+// Several consumers can watch one run through NewMultiObserver; observers
+// never change the simulation's results.
+func ExampleSim_SetObserver() {
+	wl := hbmsim.NewWorkload("tiny", []hbmsim.Trace{
+		{0, 0}, // core 0: one cold miss, then a hit
+		{1},    // core 1: one cold miss, queued behind core 0's
+	})
+	sim, err := hbmsim.NewSim(hbmsim.Config{HBMSlots: 4, Channels: 1}, wl)
+	if err != nil {
+		panic(err)
+	}
+	fetches := &fetchCounter{}
+	heat := hbmsim.NewHeatmap()
+	sim.SetObserver(hbmsim.NewMultiObserver(fetches, heat))
+	for sim.Step() {
+	}
+	res := sim.Result()
+	fmt.Println("fetch events:", fetches.n)
+	fmt.Println("result fetches:", res.Fetches)
+	fmt.Println("hottest page:", heat.TopN(1)[0].Page)
+	// Output:
+	// fetch events: 2
+	// result fetches: 2
+	// hottest page: 0
+}
+
+// ExampleNewTimeline collects windowed time series from a run: when each
+// core was served, how full the DRAM queue was, and how fair the window
+// was (Jain's index over per-core serve counts).
+func ExampleNewTimeline() {
+	wl := hbmsim.NewWorkload("loop", []hbmsim.Trace{
+		{0, 1, 0, 1, 0, 1},
+		{5, 6, 5, 6, 5, 6},
+	})
+	tl := hbmsim.NewTimeline(4, wl.Cores(), 1)
+	sim, err := hbmsim.NewSim(hbmsim.Config{HBMSlots: 8, Channels: 1}, wl)
+	if err != nil {
+		panic(err)
+	}
+	sim.SetObserver(tl)
+	for sim.Step() {
+	}
+	for i, w := range tl.Windows() {
+		fmt.Printf("window %d: serves=%d fairness=%.2f\n", i, w.Serves, w.JainFairness())
+	}
+	// Output:
+	// window 0: serves=3 fairness=0.90
+	// window 1: serves=8 fairness=1.00
+	// window 2: serves=1 fairness=0.50
+}
+
 // ExampleAdversarialWorkload reproduces the Figure 3 effect in miniature:
 // FIFO never hits on the cyclic trace, Priority does.
 func ExampleAdversarialWorkload() {

@@ -83,3 +83,46 @@ func BenchmarkSimClockReplacement(b *testing.B) {
 func BenchmarkSimEightChannels(b *testing.B) {
 	benchSim(b, Config{HBMSlots: 2048, Channels: 8})
 }
+
+// benchSimObserver is benchSim with an explicit observer (possibly nil)
+// attached, so the emission overhead on the hot path can be compared
+// against the nil-check-only baseline.
+func benchSimObserver(b *testing.B, obs Observer) {
+	b.Helper()
+	cfg := Config{
+		HBMSlots: 2048, Channels: 1,
+		Arbiter: arbiter.Priority, Permuter: arbiter.Dynamic, RemapPeriod: 20480,
+	}
+	ts := benchWorkload(32, 256, 4096)
+	var refs uint64
+	for _, tr := range ts {
+		refs += uint64(len(tr))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(cfg, ts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.SetObserver(obs)
+		for s.Step() {
+		}
+		if s.Result().TotalRefs != refs {
+			b.Fatal("incomplete run")
+		}
+	}
+	b.ReportMetric(float64(refs)*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+}
+
+func BenchmarkSimObserverNil(b *testing.B) {
+	benchSimObserver(b, nil)
+}
+
+func BenchmarkSimObserverNop(b *testing.B) {
+	benchSimObserver(b, NopObserver{})
+}
+
+func BenchmarkSimObserverMulti(b *testing.B) {
+	benchSimObserver(b, NewMultiObserver(NopObserver{}, NopObserver{}))
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"testing"
 
 	"hbmsim/internal/model"
@@ -8,10 +9,15 @@ import (
 
 // recorder collects every event for cross-checking against the Result.
 type recorder struct {
-	serves, fetches, evicts int
+	queues, grants, serves  int
+	fetches, evicts, remaps int
+	ticks                   int
 	hitServes               int
 	lastTick                model.Tick
 	ordered                 bool
+	maxDepth                int
+	maxBusy                 int
+	remapChanged            bool
 }
 
 func newRecorder() *recorder { return &recorder{ordered: true} }
@@ -23,6 +29,17 @@ func (r *recorder) note(t model.Tick) {
 	r.lastTick = t
 }
 
+func (r *recorder) OnQueue(_ model.CoreID, _ model.PageID, t model.Tick) {
+	r.queues++
+	r.note(t)
+}
+func (r *recorder) OnGrant(_ model.CoreID, _ model.PageID, t, wait model.Tick) {
+	r.grants++
+	if wait > t {
+		r.ordered = false // a wait longer than the run is nonsense
+	}
+	r.note(t)
+}
 func (r *recorder) OnServe(_ model.CoreID, _ model.PageID, t, w model.Tick) {
 	r.serves++
 	if w == 1 {
@@ -36,6 +53,23 @@ func (r *recorder) OnFetch(_ model.CoreID, _ model.PageID, t model.Tick) {
 }
 func (r *recorder) OnEvict(_ model.PageID, t model.Tick) {
 	r.evicts++
+	r.note(t)
+}
+func (r *recorder) OnRemap(t model.Tick, old, new []int32) {
+	r.remaps++
+	if !slices.Equal(old, new) {
+		r.remapChanged = true
+	}
+	r.note(t)
+}
+func (r *recorder) OnTickEnd(t model.Tick, depth, busy int) {
+	r.ticks++
+	if depth > r.maxDepth {
+		r.maxDepth = depth
+	}
+	if busy > r.maxBusy {
+		r.maxBusy = busy
+	}
 	r.note(t)
 }
 
@@ -65,8 +99,46 @@ func TestObserverEventsMatchResult(t *testing.T) {
 	if uint64(rec.evicts) != res.Evictions {
 		t.Errorf("evict events %d != evictions %d", rec.evicts, res.Evictions)
 	}
+	// Every fetch was granted a channel first, and every grant was queued.
+	if rec.grants != rec.fetches {
+		t.Errorf("grant events %d != fetch events %d", rec.grants, rec.fetches)
+	}
+	if rec.queues != rec.grants {
+		t.Errorf("queue events %d != grant events %d", rec.queues, rec.grants)
+	}
+	if model.Tick(rec.ticks) != res.Makespan {
+		t.Errorf("tick-end events %d != makespan %d", rec.ticks, res.Makespan)
+	}
+	if rec.maxBusy > 1 {
+		t.Errorf("channelsBusy %d exceeds q=1", rec.maxBusy)
+	}
 	if !rec.ordered {
 		t.Error("events arrived out of tick order")
+	}
+}
+
+func TestObserverRemapEvents(t *testing.T) {
+	ts := traces([]int{0, 1, 2, 3, 0, 1, 2, 3}, []int{4, 5, 6, 7, 4, 5, 6, 7})
+	s, err := New(Config{
+		HBMSlots: 4, Channels: 1, Seed: 7,
+		Arbiter: "priority", Permuter: "dynamic", RemapPeriod: 3,
+	}, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := newRecorder()
+	s.SetObserver(rec)
+	for s.Step() {
+	}
+	res := s.Result()
+	if uint64(rec.remaps) != res.Remaps {
+		t.Errorf("remap events %d != remaps %d", rec.remaps, res.Remaps)
+	}
+	if rec.remaps == 0 {
+		t.Fatal("expected remap events with RemapPeriod=3")
+	}
+	if !rec.remapChanged {
+		t.Error("no remap ever changed the permutation (suspicious for dynamic)")
 	}
 }
 
@@ -107,6 +179,26 @@ func TestObserverDoesNotChangeResults(t *testing.T) {
 	}
 }
 
+func TestMultiObserverFanOut(t *testing.T) {
+	ts := traces([]int{0, 1, 2, 0, 1, 2}, []int{3, 4, 3, 4})
+	s, err := New(Config{HBMSlots: 3, Channels: 1}, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := newRecorder(), newRecorder()
+	m := NewMultiObserver(a, nil, b) // nils are dropped
+	if m.Len() != 2 {
+		t.Fatalf("MultiObserver.Len() = %d, want 2", m.Len())
+	}
+	s.SetObserver(m)
+	for s.Step() {
+	}
+	if a.serves == 0 || a.serves != b.serves || a.ticks != b.ticks ||
+		a.fetches != b.fetches || a.queues != b.queues {
+		t.Fatalf("fan-out mismatch: %+v vs %+v", a, b)
+	}
+}
+
 func TestSetObserverNil(t *testing.T) {
 	ts := traces([]int{0, 1})
 	s, err := New(Config{HBMSlots: 4, Channels: 1}, ts)
@@ -118,3 +210,7 @@ func TestSetObserverNil(t *testing.T) {
 	for s.Step() {
 	}
 }
+
+// NopObserver must satisfy the full surface so embedders stay compiling.
+var _ Observer = NopObserver{}
+var _ Observer = (*MultiObserver)(nil)

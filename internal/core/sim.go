@@ -61,6 +61,8 @@ type Sim struct {
 	inflight []arrival
 
 	obs Observer
+	// priOld is scratch for OnRemap's before-image; allocated lazily.
+	priOld []int32
 
 	// metrics
 	makespan  model.Tick
@@ -179,9 +181,18 @@ func (s *Sim) Step() bool {
 
 	// Step 1: remap priorities.
 	if s.cfg.RemapPeriod > 0 && t%s.cfg.RemapPeriod == 0 {
+		if s.obs != nil {
+			if s.priOld == nil {
+				s.priOld = make([]int32, len(s.pri))
+			}
+			copy(s.priOld, s.pri)
+		}
 		s.perm.Permute(s.pri)
 		s.arb.UpdatePriorities(s.pri)
 		s.remaps++
+		if s.obs != nil {
+			s.obs.OnRemap(t, s.priOld, s.pri)
+		}
 	}
 
 	// Step 2: queue non-resident requests; collect resident candidates.
@@ -199,6 +210,9 @@ func (s *Sim) Step() bool {
 			s.seq++
 			s.arb.Push(model.Request{Core: ci, Page: page, Issued: c.reqTick, Seq: s.seq})
 			c.queued = true
+			if s.obs != nil {
+				s.obs.OnQueue(ci, page, t)
+			}
 		}
 	}
 
@@ -250,10 +264,15 @@ func (s *Sim) Step() bool {
 	// Step 5: grant up to q queued requests a far channel, then land every
 	// arrival whose transfer time has elapsed (immediately, for the
 	// model's unit latency).
+	granted := 0
 	for i := 0; i < s.cfg.Channels; i++ {
 		r, ok := s.arb.Pop()
 		if !ok {
 			break
+		}
+		granted++
+		if s.obs != nil {
+			s.obs.OnGrant(r.Core, r.Page, t, t-r.Issued)
 		}
 		s.inflight = append(s.inflight, arrival{
 			core: r.Core,
@@ -290,6 +309,9 @@ func (s *Sim) Step() bool {
 	}
 
 	s.queueLen.Add(float64(s.arb.Len()))
+	if s.obs != nil {
+		s.obs.OnTickEnd(t, s.arb.Len(), granted)
+	}
 	s.active, s.nextActive = s.nextActive, s.active
 	return !s.Done()
 }

@@ -40,7 +40,7 @@ func TestIDsSortedAndComplete(t *testing.T) {
 		"table1a", "table1b", "table2a", "table2b", "fig6", "knl-properties",
 		"channels", "replacement", "permuters", "imbalance", "directmap",
 		"mapping", "offline", "augmentation", "latency", "missratio",
-		"responsecdf", "variance",
+		"responsecdf", "variance", "timeline",
 	} {
 		found := false
 		for _, id := range ids {

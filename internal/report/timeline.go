@@ -1,0 +1,70 @@
+package report
+
+import (
+	"hbmsim/internal/telemetry"
+)
+
+// TimelineMetric names one per-window series derivable from a
+// telemetry.Timeline.
+type TimelineMetric string
+
+// Per-window metrics for TimelineSeries.
+const (
+	// MetricHitRate is hits/serves per window.
+	MetricHitRate TimelineMetric = "hit_rate"
+	// MetricAvgQueue is the mean end-of-tick DRAM-queue depth per window.
+	MetricAvgQueue TimelineMetric = "avg_queue"
+	// MetricChannelUtil is the fraction of far-channel slots used per
+	// window.
+	MetricChannelUtil TimelineMetric = "channel_util"
+	// MetricFairness is Jain's fairness index over per-core serve counts.
+	MetricFairness TimelineMetric = "jain_fairness"
+	// MetricServes is the raw serve count per window.
+	MetricServes TimelineMetric = "serves"
+)
+
+// TimelineSeries converts one windowed metric into a chartable Series:
+// x is the window's end tick, y the metric's value in that window.
+func TimelineSeries(name string, tl *telemetry.Timeline, metric TimelineMetric) Series {
+	wins := tl.Windows()
+	s := Series{
+		Name: name,
+		X:    make([]float64, 0, len(wins)),
+		Y:    make([]float64, 0, len(wins)),
+	}
+	for i := range wins {
+		w := &wins[i]
+		var y float64
+		switch metric {
+		case MetricHitRate:
+			y = w.HitRate()
+		case MetricAvgQueue:
+			y = w.AvgQueueDepth()
+		case MetricChannelUtil:
+			y = w.ChannelUtilization(tl.Channels())
+		case MetricServes:
+			y = float64(w.Serves)
+		default: // MetricFairness
+			y = w.JainFairness()
+		}
+		s.X = append(s.X, float64(w.End))
+		s.Y = append(s.Y, y)
+	}
+	return s
+}
+
+// TimelineTable renders a Timeline as one row per window with the derived
+// per-window metrics (including Jain's fairness index for every window).
+func TimelineTable(title string, tl *telemetry.Timeline) *Table {
+	t := NewTable(title,
+		"window", "start", "end", "serves", "hit rate",
+		"avg queue", "max queue", "channel util", "fairness", "remaps")
+	wins := tl.Windows()
+	for i := range wins {
+		w := &wins[i]
+		t.AddRow(i, uint64(w.Start), uint64(w.End), w.Serves, w.HitRate(),
+			w.AvgQueueDepth(), w.MaxQueue, w.ChannelUtilization(tl.Channels()),
+			w.JainFairness(), w.Remaps)
+	}
+	return t
+}

@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"io"
+	"reflect"
+	"testing"
+
+	"hbmsim/internal/core"
+)
+
+// TestObserversNeverChangeResults proves the telemetry layer is passive:
+// for a spread of configurations, a run with every collector attached
+// produces a Result that is deeply (bit-for-bit) identical to the same run
+// with no observer at all.
+func TestObserversNeverChangeResults(t *testing.T) {
+	ts := testTraces(4, 8, 250)
+	configs := map[string]core.Config{
+		"fifo":     {HBMSlots: 8, Channels: 1, Seed: 3},
+		"priority": {HBMSlots: 8, Channels: 1, Seed: 3, Arbiter: "priority"},
+		"dynamic": {HBMSlots: 8, Channels: 2, Seed: 3, Arbiter: "priority",
+			Permuter: "dynamic", RemapPeriod: 32, CollectHistogram: true},
+		"direct":  {HBMSlots: 8, Channels: 1, Seed: 3, Mapping: core.MappingDirect},
+		"latency": {HBMSlots: 8, Channels: 2, Seed: 3, FetchLatency: 3},
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			plain, err := core.Run(cfg, ts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			exp := NewPerfetto(io.Discard, 4, cfg.Channels)
+			obs := core.NewMultiObserver(
+				NewTimeline(50, 4, cfg.Channels),
+				NewHeatmap(),
+				NewStarvationWatchdog(10),
+				exp,
+				NewEventLog(io.Discard),
+			)
+			observed := runWith(t, cfg, ts, obs)
+			if err := exp.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(plain, observed) {
+				t.Fatalf("observers changed the result:\nplain:    %+v\nobserved: %+v", plain, observed)
+			}
+		})
+	}
+}

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"io"
+	"strconv"
+
+	"hbmsim/internal/core"
+	"hbmsim/internal/model"
+)
+
+// EventLog streams every simulation event as one CSV row through a
+// buffered writer. The schema is
+//
+//	event,tick,core,page,response
+//
+// where the last column carries the response time for serve rows and the
+// queue wait for grant rows; fields that do not apply are empty. Rows are
+// formatted with strconv.Append into a reused buffer, so the hot path
+// allocates nothing. Call Flush once the run finishes; the underlying
+// writer is not closed.
+type EventLog struct {
+	core.NopObserver
+
+	bw  *errWriter
+	buf []byte
+}
+
+// NewEventLog builds a CSV event log on w and writes the header row.
+func NewEventLog(w io.Writer) *EventLog {
+	l := &EventLog{bw: newErrWriter(w), buf: make([]byte, 0, 64)}
+	l.bw.writeString("event,tick,core,page,response\n")
+	return l
+}
+
+// row appends one CSV row; core < 0 and last < 0 leave those fields empty.
+func (l *EventLog) row(kind string, tick model.Tick, core int64, page model.PageID, last int64) {
+	b := append(l.buf[:0], kind...)
+	b = append(b, ',')
+	b = strconv.AppendUint(b, uint64(tick), 10)
+	b = append(b, ',')
+	if core >= 0 {
+		b = strconv.AppendInt(b, core, 10)
+	}
+	b = append(b, ',')
+	b = strconv.AppendUint(b, uint64(page), 10)
+	b = append(b, ',')
+	if last >= 0 {
+		b = strconv.AppendInt(b, last, 10)
+	}
+	b = append(b, '\n')
+	l.buf = b
+	l.bw.Write(b)
+}
+
+// OnQueue implements core.Observer.
+func (l *EventLog) OnQueue(c model.CoreID, p model.PageID, t model.Tick) {
+	l.row("queue", t, int64(c), p, -1)
+}
+
+// OnGrant implements core.Observer.
+func (l *EventLog) OnGrant(c model.CoreID, p model.PageID, t, wait model.Tick) {
+	l.row("grant", t, int64(c), p, int64(wait))
+}
+
+// OnServe implements core.Observer.
+func (l *EventLog) OnServe(c model.CoreID, p model.PageID, t, response model.Tick) {
+	l.row("serve", t, int64(c), p, int64(response))
+}
+
+// OnFetch implements core.Observer.
+func (l *EventLog) OnFetch(c model.CoreID, p model.PageID, t model.Tick) {
+	l.row("fetch", t, int64(c), p, -1)
+}
+
+// OnEvict implements core.Observer.
+func (l *EventLog) OnEvict(p model.PageID, t model.Tick) {
+	l.row("evict", t, -1, p, -1)
+}
+
+// Flush drains buffered rows and returns the first write error, if any.
+func (l *EventLog) Flush() error { return l.bw.flush() }

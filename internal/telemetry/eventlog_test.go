@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/csv"
+	"testing"
+
+	"hbmsim/internal/core"
+	"hbmsim/internal/model"
+)
+
+func TestEventLogRowsMatchResult(t *testing.T) {
+	ts := [][]model.PageID{{0, 1, 0, 2, 1}, {10, 11, 10}}
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	res := runWith(t, core.Config{HBMSlots: 2, Channels: 1}, ts, l)
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("event log is not valid CSV: %v", err)
+	}
+	if want := []string{"event", "tick", "core", "page", "response"}; !equal(rows[0], want) {
+		t.Fatalf("header %v, want %v", rows[0], want)
+	}
+	counts := map[string]uint64{}
+	for _, r := range rows[1:] {
+		counts[r[0]]++
+	}
+	if counts["serve"] != res.TotalRefs {
+		t.Errorf("serve rows %d != refs %d", counts["serve"], res.TotalRefs)
+	}
+	if counts["fetch"] != res.Fetches {
+		t.Errorf("fetch rows %d != fetches %d", counts["fetch"], res.Fetches)
+	}
+	if counts["evict"] != res.Evictions {
+		t.Errorf("evict rows %d != evictions %d", counts["evict"], res.Evictions)
+	}
+	if counts["grant"] != counts["fetch"] {
+		t.Errorf("grant rows %d != fetch rows %d", counts["grant"], counts["fetch"])
+	}
+	if counts["queue"] == 0 {
+		t.Error("no queue rows recorded")
+	}
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"sort"
+
+	"hbmsim/internal/core"
+	"hbmsim/internal/model"
+)
+
+// PageHeat is one page's traffic totals.
+type PageHeat struct {
+	Page      model.PageID
+	Fetches   uint64
+	Evictions uint64
+}
+
+// Heatmap counts per-page DRAM-to-HBM fetches and HBM evictions, exposing
+// the top-N hottest pages — the pages that thrash across the far channels
+// and dominate the makespan.
+type Heatmap struct {
+	core.NopObserver
+
+	fetches map[model.PageID]uint64
+	evicts  map[model.PageID]uint64
+}
+
+// NewHeatmap builds an empty per-page traffic collector.
+func NewHeatmap() *Heatmap {
+	return &Heatmap{
+		fetches: make(map[model.PageID]uint64),
+		evicts:  make(map[model.PageID]uint64),
+	}
+}
+
+// OnFetch implements core.Observer.
+func (h *Heatmap) OnFetch(_ model.CoreID, page model.PageID, _ model.Tick) {
+	h.fetches[page]++
+}
+
+// OnEvict implements core.Observer.
+func (h *Heatmap) OnEvict(page model.PageID, _ model.Tick) {
+	h.evicts[page]++
+}
+
+// Pages returns the number of distinct pages that saw any traffic.
+func (h *Heatmap) Pages() int {
+	n := len(h.fetches)
+	for p := range h.evicts {
+		if _, ok := h.fetches[p]; !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Fetches returns the fetch count of one page.
+func (h *Heatmap) Fetches(page model.PageID) uint64 { return h.fetches[page] }
+
+// Evictions returns the eviction count of one page.
+func (h *Heatmap) Evictions(page model.PageID) uint64 { return h.evicts[page] }
+
+// TopN returns the n hottest pages ordered by descending fetch count, with
+// ties broken by ascending page id (so the order is deterministic). n <= 0
+// or n larger than the page population returns every page.
+func (h *Heatmap) TopN(n int) []PageHeat {
+	all := make([]PageHeat, 0, len(h.fetches))
+	for p, f := range h.fetches {
+		all = append(all, PageHeat{Page: p, Fetches: f, Evictions: h.evicts[p]})
+	}
+	for p, e := range h.evicts {
+		if _, ok := h.fetches[p]; !ok {
+			all = append(all, PageHeat{Page: p, Evictions: e})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Fetches != all[j].Fetches {
+			return all[i].Fetches > all[j].Fetches
+		}
+		return all[i].Page < all[j].Page
+	})
+	if n > 0 && n < len(all) {
+		all = all[:n]
+	}
+	return all
+}

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"testing"
+
+	"hbmsim/internal/core"
+	"hbmsim/internal/model"
+)
+
+func TestHeatmapCounts(t *testing.T) {
+	// k=1 with two alternating pages: every reference after the first
+	// fetch evicts the other page, so both pages accumulate equal heat.
+	ts := [][]model.PageID{{0, 1, 0, 1, 0, 1}}
+	hm := NewHeatmap()
+	res := runWith(t, core.Config{HBMSlots: 1, Channels: 1}, ts, hm)
+
+	var fetches, evicts uint64
+	for _, p := range []model.PageID{0, 1} {
+		fetches += hm.Fetches(p)
+		evicts += hm.Evictions(p)
+	}
+	if fetches != res.Fetches {
+		t.Errorf("heatmap fetches %d != result fetches %d", fetches, res.Fetches)
+	}
+	if evicts != res.Evictions {
+		t.Errorf("heatmap evictions %d != result evictions %d", evicts, res.Evictions)
+	}
+	if hm.Pages() != 2 {
+		t.Errorf("Pages() = %d, want 2", hm.Pages())
+	}
+}
+
+func TestHeatmapTopN(t *testing.T) {
+	hm := NewHeatmap()
+	// Page 7 fetched three times, page 3 twice, page 9 once.
+	for _, p := range []model.PageID{7, 3, 7, 9, 3, 7} {
+		hm.OnFetch(0, p, 1)
+	}
+	hm.OnEvict(3, 2)
+
+	top := hm.TopN(2)
+	if len(top) != 2 || top[0].Page != 7 || top[0].Fetches != 3 ||
+		top[1].Page != 3 || top[1].Fetches != 2 || top[1].Evictions != 1 {
+		t.Fatalf("TopN(2) = %+v", top)
+	}
+	if all := hm.TopN(0); len(all) != 3 {
+		t.Fatalf("TopN(0) returned %d pages, want all 3", len(all))
+	}
+}
+
+func TestHeatmapTopNTieBreak(t *testing.T) {
+	hm := NewHeatmap()
+	hm.OnFetch(0, 5, 1)
+	hm.OnFetch(0, 2, 1)
+	top := hm.TopN(2)
+	if top[0].Page != 2 || top[1].Page != 5 {
+		t.Fatalf("equal heat must order by page id, got %+v", top)
+	}
+}

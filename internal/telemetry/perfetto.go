@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+
+	"hbmsim/internal/model"
+)
+
+// Perfetto track layout: cores, far channels, and simulator-global
+// events/counters live in three synthetic "processes" so ui.perfetto.dev
+// groups them into separate track groups.
+const (
+	pidCores    = 1
+	pidChannels = 2
+	pidSim      = 3
+)
+
+// PerfettoExporter streams simulation events as Chrome trace-event JSON
+// loadable in ui.perfetto.dev (or chrome://tracing). One simulated tick
+// maps to one trace microsecond.
+//
+// The trace contains one track per core (slices named "hit"/"miss"
+// spanning each reference from request to serve, plus "queue" instants
+// when a request enters the DRAM queue), one track per far channel
+// ("xfer" slices for every granted block transfer, with the queue wait in
+// the slice arguments), an eviction/remap instant track, and "dram-queue"
+// / "channels-busy" counters.
+//
+// The exporter implements core.Observer. Events are buffered; call Close
+// once the run finishes to terminate the JSON array and flush. The
+// underlying writer is not closed.
+type PerfettoExporter struct {
+	bw       *errWriter
+	first    bool
+	channels int
+	latency  model.Tick
+
+	// Round-robin assignment of grants to channel tracks: grants within
+	// one tick take channels 0..q-1 in pop (priority) order.
+	grantTick model.Tick
+	grantIdx  int
+
+	// Last emitted counter values; counters are re-emitted only on change
+	// to keep traces compact.
+	lastDepth, lastBusy int
+	haveDepth, haveBusy bool
+	remaps              uint64
+}
+
+// NewPerfetto builds an exporter for a simulation of the given core and
+// far-channel counts, writing the JSON preamble and track metadata
+// immediately.
+func NewPerfetto(w io.Writer, cores, channels int) *PerfettoExporter {
+	if cores < 1 {
+		cores = 1
+	}
+	if channels < 1 {
+		channels = 1
+	}
+	e := &PerfettoExporter{
+		bw:       newErrWriter(w),
+		first:    true,
+		channels: channels,
+		latency:  1,
+	}
+	e.bw.writeByte('[')
+	e.meta(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":"cores"}}`, pidCores)
+	e.meta(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":"far channels"}}`, pidChannels)
+	e.meta(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":"hbm"}}`, pidSim)
+	for c := 0; c < cores; c++ {
+		e.meta(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"core %d"}}`, pidCores, c, c)
+	}
+	for q := 0; q < channels; q++ {
+		e.meta(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"channel %d"}}`, pidChannels, q, q)
+	}
+	e.meta(`{"name":"thread_name","ph":"M","pid":%d,"tid":0,"args":{"name":"evictions"}}`, pidSim)
+	e.meta(`{"name":"thread_name","ph":"M","pid":%d,"tid":1,"args":{"name":"remaps"}}`, pidSim)
+	return e
+}
+
+// SetFetchLatency sets the duration, in ticks, drawn for each far-channel
+// transfer slice; it should match Config.FetchLatency (default 1).
+func (e *PerfettoExporter) SetFetchLatency(l model.Tick) {
+	if l >= 1 {
+		e.latency = l
+	}
+}
+
+// meta writes one event without a leading separator decision (constructor
+// only).
+func (e *PerfettoExporter) meta(format string, args ...any) {
+	e.sep()
+	fmt.Fprintf(e.bw, format, args...)
+}
+
+// sep writes the inter-event separator.
+func (e *PerfettoExporter) sep() {
+	if e.first {
+		e.first = false
+		e.bw.writeString("\n")
+	} else {
+		e.bw.writeString(",\n")
+	}
+}
+
+// OnQueue implements core.Observer: an instant on the core's track.
+func (e *PerfettoExporter) OnQueue(c model.CoreID, p model.PageID, t model.Tick) {
+	e.sep()
+	fmt.Fprintf(e.bw, `{"name":"queue","cat":"queue","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"page":%d}}`,
+		t, pidCores, c, p)
+}
+
+// OnGrant implements core.Observer: a transfer slice on the channel track.
+func (e *PerfettoExporter) OnGrant(c model.CoreID, p model.PageID, t, wait model.Tick) {
+	if t != e.grantTick {
+		e.grantTick, e.grantIdx = t, 0
+	}
+	ch := e.grantIdx % e.channels
+	e.grantIdx++
+	e.sep()
+	fmt.Fprintf(e.bw, `{"name":"xfer","cat":"grant","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":{"core":%d,"page":%d,"wait":%d}}`,
+		t, e.latency, pidChannels, ch, c, p, wait)
+}
+
+// OnServe implements core.Observer: a slice on the core's track spanning
+// the reference from first request to serve.
+func (e *PerfettoExporter) OnServe(c model.CoreID, p model.PageID, t, response model.Tick) {
+	name := "miss"
+	if response == 1 {
+		name = "hit"
+	}
+	e.sep()
+	fmt.Fprintf(e.bw, `{"name":"%s","cat":"serve","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":{"page":%d,"response":%d}}`,
+		name, t-response+1, response, pidCores, c, p, response)
+}
+
+// OnFetch implements core.Observer. Fetch landings are implied by the end
+// of the corresponding transfer slice, so nothing is emitted.
+func (e *PerfettoExporter) OnFetch(model.CoreID, model.PageID, model.Tick) {}
+
+// OnEvict implements core.Observer: an instant on the eviction track.
+func (e *PerfettoExporter) OnEvict(p model.PageID, t model.Tick) {
+	e.sep()
+	fmt.Fprintf(e.bw, `{"name":"evict","cat":"evict","ph":"i","s":"t","ts":%d,"pid":%d,"tid":0,"args":{"page":%d}}`,
+		t, pidSim, p)
+}
+
+// OnRemap implements core.Observer: an instant on the remap track.
+func (e *PerfettoExporter) OnRemap(t model.Tick, _, _ []int32) {
+	e.remaps++
+	e.sep()
+	fmt.Fprintf(e.bw, `{"name":"remap","cat":"remap","ph":"i","s":"p","ts":%d,"pid":%d,"tid":1,"args":{"n":%d}}`,
+		t, pidSim, e.remaps)
+}
+
+// OnTickEnd implements core.Observer: queue-depth and channels-busy
+// counters, emitted only when the value changes.
+func (e *PerfettoExporter) OnTickEnd(t model.Tick, depth, busy int) {
+	if !e.haveDepth || depth != e.lastDepth {
+		e.haveDepth, e.lastDepth = true, depth
+		e.sep()
+		fmt.Fprintf(e.bw, `{"name":"dram-queue","ph":"C","ts":%d,"pid":%d,"args":{"depth":%d}}`,
+			t, pidSim, depth)
+	}
+	if !e.haveBusy || busy != e.lastBusy {
+		e.haveBusy, e.lastBusy = true, busy
+		e.sep()
+		fmt.Fprintf(e.bw, `{"name":"channels-busy","ph":"C","ts":%d,"pid":%d,"args":{"busy":%d}}`,
+			t, pidSim, busy)
+	}
+}
+
+// Close terminates the JSON array and flushes buffered events, returning
+// the first write error encountered. It does not close the underlying
+// writer.
+func (e *PerfettoExporter) Close() error {
+	e.bw.writeString("\n]\n")
+	return e.bw.flush()
+}

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hbmsim/internal/core"
+	"hbmsim/internal/model"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// perfettoEvent is the subset of the Chrome trace-event schema the
+// exporter emits.
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// goldenRun drives the exporter over a tiny deterministic workload.
+func goldenRun(t *testing.T) ([]byte, *core.Result) {
+	t.Helper()
+	ts := [][]model.PageID{{0, 1, 0}, {5, 6}}
+	cfg := core.Config{HBMSlots: 2, Channels: 1, Seed: 1,
+		Arbiter: "priority", Permuter: "cycle", RemapPeriod: 3}
+	var buf bytes.Buffer
+	exp := NewPerfetto(&buf, 2, 1)
+	res := runWith(t, cfg, ts, exp)
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res
+}
+
+func TestPerfettoGolden(t *testing.T) {
+	got, _ := goldenRun(t)
+	path := filepath.Join("testdata", "perfetto.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("perfetto output drifted from golden file; run with -update and inspect the diff\ngot:\n%s", got)
+	}
+}
+
+func TestPerfettoIsValidTrace(t *testing.T) {
+	got, res := goldenRun(t)
+
+	var events []perfettoEvent
+	if err := json.Unmarshal(got, &events); err != nil {
+		t.Fatalf("exporter output is not valid JSON: %v\n%s", err, got)
+	}
+
+	var serves, grants, evicts, remaps, counters, meta int
+	coreTracks := map[int]bool{}
+	chanTracks := map[int]bool{}
+	for _, e := range events {
+		switch e.Ph {
+		case "M":
+			meta++
+			continue
+		case "C":
+			counters++
+		case "X":
+			if e.Dur == nil || *e.Dur < 1 {
+				t.Errorf("slice without a duration: %+v", e)
+			}
+			switch e.Cat {
+			case "serve":
+				serves++
+				coreTracks[e.Tid] = true
+				if e.Pid != pidCores {
+					t.Errorf("serve slice on pid %d, want %d", e.Pid, pidCores)
+				}
+			case "grant":
+				grants++
+				chanTracks[e.Tid] = true
+				if e.Pid != pidChannels {
+					t.Errorf("grant slice on pid %d, want %d", e.Pid, pidChannels)
+				}
+			}
+		case "i":
+			switch e.Cat {
+			case "evict":
+				evicts++
+			case "remap":
+				remaps++
+			}
+		}
+		if e.Ph != "M" && e.Ts == nil {
+			t.Errorf("event without ts: %+v", e)
+		}
+	}
+	if uint64(serves) != res.TotalRefs {
+		t.Errorf("serve slices %d != refs %d", serves, res.TotalRefs)
+	}
+	if uint64(grants) != res.Fetches {
+		t.Errorf("grant slices %d != fetches %d", grants, res.Fetches)
+	}
+	if uint64(evicts) != res.Evictions {
+		t.Errorf("evict instants %d != evictions %d", evicts, res.Evictions)
+	}
+	if uint64(remaps) != res.Remaps {
+		t.Errorf("remap instants %d != remaps %d", remaps, res.Remaps)
+	}
+	if len(coreTracks) != 2 {
+		t.Errorf("serve slices landed on %d core tracks, want 2", len(coreTracks))
+	}
+	if len(chanTracks) != 1 {
+		t.Errorf("grant slices landed on %d channel tracks, want 1", len(chanTracks))
+	}
+	if counters == 0 {
+		t.Error("no counter events emitted")
+	}
+	if meta < 3+2+1+2 {
+		t.Errorf("only %d metadata events; want process+thread names for every track", meta)
+	}
+}
+
+func TestPerfettoMultiChannelRoundRobin(t *testing.T) {
+	// Four cores all missing at once over q=2: grants within one tick must
+	// spread across both channel tracks.
+	ts := [][]model.PageID{{0, 1}, {10, 11}, {20, 21}, {30, 31}}
+	var buf bytes.Buffer
+	exp := NewPerfetto(&buf, 4, 2)
+	runWith(t, core.Config{HBMSlots: 8, Channels: 2}, ts, exp)
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []perfettoEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	tracks := map[int]int{}
+	for _, e := range events {
+		if e.Ph == "X" && e.Cat == "grant" {
+			tracks[e.Tid]++
+		}
+	}
+	if len(tracks) != 2 || tracks[0] == 0 || tracks[1] == 0 {
+		t.Fatalf("grants not spread over both channels: %v", tracks)
+	}
+}

@@ -1,0 +1,81 @@
+// Package telemetry provides composable simulation instrumentation built
+// on the core.Observer event surface: windowed time series (Timeline),
+// per-page heat maps (Heatmap), starvation detection
+// (StarvationWatchdog), Chrome trace-event export for ui.perfetto.dev
+// (PerfettoExporter), and a buffered CSV event log (EventLog).
+//
+// Every collector implements core.Observer; attach several at once with
+// core.NewMultiObserver. Collectors are passive — they never change
+// simulation results — and single-goroutine, matching the simulator's
+// execution model. The paper's central claims are temporal (FIFO starves
+// cores in bursts, Dynamic Priority smooths response times over windows of
+// T ticks); these collectors make that timeline visible instead of only
+// the end-of-run aggregates in core.Result.
+package telemetry
+
+import (
+	"bufio"
+	"io"
+)
+
+// errWriter is a buffered writer that latches the first error, so the
+// exporters can stream events without checking an error on every write.
+type errWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func newErrWriter(w io.Writer) *errWriter { return &errWriter{w: bufio.NewWriter(w)} }
+
+// Write implements io.Writer for fmt.Fprintf; errors are latched, not
+// returned, so formatting continues harmlessly after a failure.
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, nil
+}
+
+func (e *errWriter) writeString(s string) {
+	if e.err == nil {
+		_, e.err = e.w.WriteString(s)
+	}
+}
+
+func (e *errWriter) writeByte(b byte) {
+	if e.err == nil {
+		e.err = e.w.WriteByte(b)
+	}
+}
+
+// flush drains the buffer and returns the first error seen, if any.
+func (e *errWriter) flush() error {
+	if e.err != nil {
+		return e.err
+	}
+	return e.w.Flush()
+}
+
+// jain returns Jain's fairness index over the observations:
+// (sum x)^2 / (n * sum x^2). It is 1 when every observation is equal and
+// approaches 1/n under maximal imbalance. An all-zero (or empty) window is
+// reported as 1: every core received exactly the same — zero — service.
+func jain(xs []uint64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		f := float64(x)
+		sum += f
+		sumSq += f * f
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"hbmsim/internal/core"
+	"hbmsim/internal/model"
+)
+
+// Window is one fixed-width slice of simulated time with the counters the
+// Timeline collector accumulated over it.
+type Window struct {
+	// Start and End are the window's nominal tick bounds, inclusive.
+	Start, End model.Tick
+	// Ticks is the number of ticks actually observed in the window (less
+	// than End-Start+1 for the final, partial window).
+	Ticks model.Tick
+	// Serves counts references served; Hits those with response time 1.
+	Serves, Hits uint64
+	// Fetches, Evictions, and Grants count DRAM-to-HBM transfers, HBM
+	// evictions, and far-channel grants inside the window.
+	Fetches, Evictions, Grants uint64
+	// Remaps counts priority re-permutations inside the window.
+	Remaps uint64
+	// QueueSum is the DRAM-queue depth summed over tick ends; MaxQueue is
+	// the largest depth observed.
+	QueueSum uint64
+	MaxQueue int
+	// PerCoreServes counts serves per core inside the window.
+	PerCoreServes []uint64
+}
+
+// HitRate returns Hits/Serves for the window, or 0 when nothing was served.
+func (w *Window) HitRate() float64 {
+	if w.Serves == 0 {
+		return 0
+	}
+	return float64(w.Hits) / float64(w.Serves)
+}
+
+// AvgQueueDepth returns the mean end-of-tick DRAM-queue depth.
+func (w *Window) AvgQueueDepth() float64 {
+	if w.Ticks == 0 {
+		return 0
+	}
+	return float64(w.QueueSum) / float64(w.Ticks)
+}
+
+// ChannelUtilization returns Grants / (channels * Ticks): the fraction of
+// the window's far-channel slots that carried a block.
+func (w *Window) ChannelUtilization(channels int) float64 {
+	if w.Ticks == 0 || channels <= 0 {
+		return 0
+	}
+	return float64(w.Grants) / (float64(channels) * float64(w.Ticks))
+}
+
+// JainFairness returns Jain's fairness index over the window's per-core
+// serve counts: 1 when every core was served equally, approaching 1/p when
+// one core monopolises the far channels. A window in which no core was
+// served reports 1 (all cores got the same, zero, service).
+func (w *Window) JainFairness() float64 { return jain(w.PerCoreServes) }
+
+// Timeline collects windowed time series from a simulation: per-window hit
+// rate, queue depth, channel utilization, per-core serve counts, and
+// Jain's fairness index. It answers the questions the end-of-run Result
+// cannot: *when* did starvation happen, and which remap fixed it.
+type Timeline struct {
+	core.NopObserver
+
+	window   model.Tick
+	cores    int
+	channels int
+	windows  []Window
+}
+
+// NewTimeline builds a collector with the given window width in ticks for
+// a simulation of the given core and far-channel counts. A window width of
+// zero defaults to 1024 ticks.
+func NewTimeline(window model.Tick, cores, channels int) *Timeline {
+	if window == 0 {
+		window = 1024
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	if channels < 1 {
+		channels = 1
+	}
+	return &Timeline{window: window, cores: cores, channels: channels}
+}
+
+// WindowTicks returns the configured window width.
+func (tl *Timeline) WindowTicks() model.Tick { return tl.window }
+
+// Channels returns the far-channel count the collector was built for.
+func (tl *Timeline) Channels() int { return tl.channels }
+
+// at returns the window containing the tick, growing the series as needed.
+// Ticks start at 1, so tick t lands in window (t-1)/window.
+func (tl *Timeline) at(tick model.Tick) *Window {
+	idx := int((tick - 1) / tl.window)
+	for len(tl.windows) <= idx {
+		start := model.Tick(len(tl.windows))*tl.window + 1
+		tl.windows = append(tl.windows, Window{
+			Start:         start,
+			End:           start + tl.window - 1,
+			PerCoreServes: make([]uint64, tl.cores),
+		})
+	}
+	return &tl.windows[idx]
+}
+
+// OnServe implements core.Observer.
+func (tl *Timeline) OnServe(c model.CoreID, _ model.PageID, tick, response model.Tick) {
+	w := tl.at(tick)
+	w.Serves++
+	if response == 1 {
+		w.Hits++
+	}
+	for int(c) >= len(w.PerCoreServes) { // defensive: cores beyond the declared count
+		w.PerCoreServes = append(w.PerCoreServes, 0)
+	}
+	w.PerCoreServes[c]++
+}
+
+// OnFetch implements core.Observer.
+func (tl *Timeline) OnFetch(_ model.CoreID, _ model.PageID, tick model.Tick) {
+	tl.at(tick).Fetches++
+}
+
+// OnEvict implements core.Observer.
+func (tl *Timeline) OnEvict(_ model.PageID, tick model.Tick) {
+	tl.at(tick).Evictions++
+}
+
+// OnGrant implements core.Observer.
+func (tl *Timeline) OnGrant(_ model.CoreID, _ model.PageID, tick, _ model.Tick) {
+	tl.at(tick).Grants++
+}
+
+// OnRemap implements core.Observer.
+func (tl *Timeline) OnRemap(tick model.Tick, _, _ []int32) {
+	tl.at(tick).Remaps++
+}
+
+// OnTickEnd implements core.Observer.
+func (tl *Timeline) OnTickEnd(tick model.Tick, depth, _ int) {
+	w := tl.at(tick)
+	w.Ticks++
+	w.QueueSum += uint64(depth)
+	if depth > w.MaxQueue {
+		w.MaxQueue = depth
+	}
+}
+
+// Windows returns the collected windows in tick order. The slice is the
+// collector's own storage; treat it as read-only.
+func (tl *Timeline) Windows() []Window { return tl.windows }
+
+// WriteCSV writes one row per window: the shared counters, the derived
+// rates (hit rate, average/maximum queue depth, channel utilization,
+// Jain's fairness index — computed for every window), and one
+// serves_c<i> column per core.
+func (tl *Timeline) WriteCSV(out io.Writer) error {
+	bw := newErrWriter(out)
+	bw.writeString("window,start,end,ticks,serves,hits,hit_rate,fetches,evictions,grants,remaps,avg_queue,max_queue,channel_util,jain_fairness")
+	for c := 0; c < tl.cores; c++ {
+		bw.writeString(",serves_c" + strconv.Itoa(c))
+	}
+	bw.writeString("\n")
+	for i := range tl.windows {
+		w := &tl.windows[i]
+		fmt.Fprintf(bw, "%d,%d,%d,%d,%d,%d,%.6g,%d,%d,%d,%d,%.6g,%d,%.6g,%.6g",
+			i, w.Start, w.End, w.Ticks, w.Serves, w.Hits, w.HitRate(),
+			w.Fetches, w.Evictions, w.Grants, w.Remaps,
+			w.AvgQueueDepth(), w.MaxQueue,
+			w.ChannelUtilization(tl.channels), w.JainFairness())
+		for c := 0; c < tl.cores; c++ {
+			var n uint64
+			if c < len(w.PerCoreServes) {
+				n = w.PerCoreServes[c]
+			}
+			bw.writeString("," + strconv.FormatUint(n, 10))
+		}
+		bw.writeString("\n")
+	}
+	return bw.flush()
+}

@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+
+	"hbmsim/internal/core"
+	"hbmsim/internal/model"
+)
+
+// testTraces builds p disjoint per-core traces that mix reuse and misses:
+// core i cycles over pages i*offset .. i*offset+pages-1 with a
+// deterministic jump pattern.
+func testTraces(p, pages, refs int) [][]model.PageID {
+	ts := make([][]model.PageID, p)
+	for i := range ts {
+		tr := make([]model.PageID, refs)
+		state := uint64(i)*2654435761 + 12345
+		pos := 0
+		for j := range tr {
+			state = state*6364136223846793005 + 1442695040888963407
+			if state>>60 == 0 {
+				pos = int(state>>32) % pages
+			} else {
+				pos = (pos + 1) % pages
+			}
+			tr[j] = model.PageID(i*1000 + pos)
+		}
+		ts[i] = tr
+	}
+	return ts
+}
+
+func runWith(t *testing.T, cfg core.Config, ts [][]model.PageID, obs core.Observer) *core.Result {
+	t.Helper()
+	s, err := core.New(cfg, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetObserver(obs)
+	for s.Step() {
+	}
+	return s.Result()
+}
+
+func TestTimelineWindowsMatchResult(t *testing.T) {
+	ts := testTraces(4, 8, 300)
+	cfg := core.Config{HBMSlots: 16, Channels: 2, Seed: 1,
+		Arbiter: "priority", Permuter: "dynamic", RemapPeriod: 64}
+	tl := NewTimeline(100, 4, 2)
+	res := runWith(t, cfg, ts, tl)
+
+	wins := tl.Windows()
+	wantWins := int((res.Makespan + 99) / 100)
+	if len(wins) != wantWins {
+		t.Fatalf("got %d windows for makespan %d, want %d", len(wins), res.Makespan, wantWins)
+	}
+	var serves, hits, fetches, evicts, remaps, ticks uint64
+	for i := range wins {
+		w := &wins[i]
+		serves += w.Serves
+		hits += w.Hits
+		fetches += w.Fetches
+		evicts += w.Evictions
+		remaps += w.Remaps
+		ticks += uint64(w.Ticks)
+		if f := w.JainFairness(); f < 0 || f > 1.0000001 {
+			t.Errorf("window %d: Jain fairness %v out of [0,1]", i, f)
+		}
+		var perCore uint64
+		for _, n := range w.PerCoreServes {
+			perCore += n
+		}
+		if perCore != w.Serves {
+			t.Errorf("window %d: per-core serves %d != serves %d", i, perCore, w.Serves)
+		}
+		if u := w.ChannelUtilization(2); u < 0 || u > 1.0000001 {
+			t.Errorf("window %d: channel utilization %v out of [0,1]", i, u)
+		}
+	}
+	if serves != res.TotalRefs {
+		t.Errorf("windowed serves %d != refs %d", serves, res.TotalRefs)
+	}
+	if hits != res.Hits {
+		t.Errorf("windowed hits %d != hits %d", hits, res.Hits)
+	}
+	if fetches != res.Fetches {
+		t.Errorf("windowed fetches %d != fetches %d", fetches, res.Fetches)
+	}
+	if evicts != res.Evictions {
+		t.Errorf("windowed evictions %d != evictions %d", evicts, res.Evictions)
+	}
+	if remaps != res.Remaps {
+		t.Errorf("windowed remaps %d != remaps %d", remaps, res.Remaps)
+	}
+	if ticks != uint64(res.Makespan) {
+		t.Errorf("windowed ticks %d != makespan %d", ticks, res.Makespan)
+	}
+}
+
+func TestTimelineWriteCSV(t *testing.T) {
+	ts := testTraces(3, 6, 200)
+	cfg := core.Config{HBMSlots: 8, Channels: 1, Seed: 2}
+	tl := NewTimeline(64, 3, 1)
+	runWith(t, cfg, ts, tl)
+
+	var buf bytes.Buffer
+	if err := tl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("timeline CSV does not parse: %v", err)
+	}
+	if len(rows) != len(tl.Windows())+1 {
+		t.Fatalf("CSV has %d rows, want %d windows + header", len(rows), len(tl.Windows()))
+	}
+	// The fairness column must hold a valid number for every window.
+	fairCol := -1
+	for i, h := range rows[0] {
+		if h == "jain_fairness" {
+			fairCol = i
+		}
+	}
+	if fairCol < 0 {
+		t.Fatalf("no jain_fairness column in header %v", rows[0])
+	}
+	if got, want := len(rows[0]), 15+3; got != want {
+		t.Errorf("header has %d columns, want %d (3 per-core)", got, want)
+	}
+	for i, r := range rows[1:] {
+		f, err := strconv.ParseFloat(r[fairCol], 64)
+		if err != nil || f < 0 || f > 1.0000001 {
+			t.Errorf("window %d: bad fairness cell %q (err=%v)", i, r[fairCol], err)
+		}
+	}
+}
+
+func TestTimelineDefaultWindow(t *testing.T) {
+	tl := NewTimeline(0, 2, 1)
+	if tl.WindowTicks() != 1024 {
+		t.Fatalf("default window = %d, want 1024", tl.WindowTicks())
+	}
+}

@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"hbmsim/internal/core"
+	"hbmsim/internal/model"
+)
+
+// Episode is one starvation incident: a stretch of ticks during which a
+// core waited longer than the watchdog's threshold between two
+// consecutive serves. From is the tick of the serve that preceded the
+// stretch (0 when the core had never been served), To the serve that ended
+// it, and Gap = To - From.
+type Episode struct {
+	Core     model.CoreID
+	From, To model.Tick
+	Gap      model.Tick
+}
+
+// StarvationWatchdog flags cores whose gap between consecutive serves
+// exceeds a configurable threshold, recording each episode's tick range.
+// Detection is edge-triggered on the serve that ends the gap, so the
+// watchdog costs O(1) per serve and nothing per tick; a core that is never
+// served again after its last reference cannot produce a false episode.
+// (For whole-run worst gaps including the tail, see Result.PerCore's
+// MaxServeGap.)
+type StarvationWatchdog struct {
+	core.NopObserver
+
+	threshold model.Tick
+	lastServe []model.Tick
+	episodes  []Episode
+	maxGap    model.Tick
+	worst     model.CoreID
+}
+
+// NewStarvationWatchdog builds a watchdog that records an Episode whenever
+// a core's serve gap exceeds the threshold (in ticks). A threshold of zero
+// flags every gap larger than one tick.
+func NewStarvationWatchdog(threshold model.Tick) *StarvationWatchdog {
+	if threshold == 0 {
+		threshold = 1
+	}
+	return &StarvationWatchdog{threshold: threshold}
+}
+
+// Threshold returns the configured gap threshold.
+func (wd *StarvationWatchdog) Threshold() model.Tick { return wd.threshold }
+
+// OnServe implements core.Observer.
+func (wd *StarvationWatchdog) OnServe(c model.CoreID, _ model.PageID, tick, _ model.Tick) {
+	for int(c) >= len(wd.lastServe) {
+		wd.lastServe = append(wd.lastServe, 0)
+	}
+	gap := tick - wd.lastServe[c]
+	if gap > wd.threshold {
+		wd.episodes = append(wd.episodes, Episode{
+			Core: c,
+			From: wd.lastServe[c],
+			To:   tick,
+			Gap:  gap,
+		})
+	}
+	if gap > wd.maxGap {
+		wd.maxGap, wd.worst = gap, c
+	}
+	wd.lastServe[c] = tick
+}
+
+// Episodes returns every recorded starvation incident in detection order.
+// The slice is the watchdog's own storage; treat it as read-only.
+func (wd *StarvationWatchdog) Episodes() []Episode { return wd.episodes }
+
+// MaxGap returns the longest serve gap seen and the core that suffered it.
+func (wd *StarvationWatchdog) MaxGap() (model.CoreID, model.Tick) {
+	return wd.worst, wd.maxGap
+}

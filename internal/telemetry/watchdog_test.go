@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"testing"
+
+	"hbmsim/internal/core"
+	"hbmsim/internal/model"
+)
+
+func TestWatchdogFlagsStarvedCore(t *testing.T) {
+	// Static Priority with three greedy high-priority cores: one of them
+	// re-queues a miss every tick, so the single far channel never reaches
+	// low-priority core 3 and its references wait out long gaps.
+	greedy := func(base int) []model.PageID {
+		tr := make([]model.PageID, 24)
+		for i := range tr {
+			tr[i] = model.PageID(base + i%4)
+		}
+		return tr
+	}
+	ts := [][]model.PageID{greedy(0), greedy(10), greedy(20), {100, 101, 100}}
+	wd := NewStarvationWatchdog(5)
+	res := runWith(t, core.Config{HBMSlots: 4, Channels: 1, Arbiter: "priority"}, ts, wd)
+
+	if res.MaxServeGap <= wd.Threshold() {
+		t.Fatalf("scenario did not starve anyone (max gap %d); test is vacuous", res.MaxServeGap)
+	}
+	eps := wd.Episodes()
+	if len(eps) == 0 {
+		t.Fatal("no starvation episodes recorded despite a gap above threshold")
+	}
+	for _, e := range eps {
+		if e.Gap <= wd.Threshold() {
+			t.Errorf("episode %+v has gap <= threshold %d", e, wd.Threshold())
+		}
+		if e.Gap != e.To-e.From {
+			t.Errorf("episode %+v: Gap != To-From", e)
+		}
+		if e.To > res.Makespan {
+			t.Errorf("episode %+v ends after makespan %d", e, res.Makespan)
+		}
+	}
+	// The watchdog computes gaps exactly as the simulator's starvation
+	// metric does, so the two must agree bit-for-bit.
+	worst, gap := wd.MaxGap()
+	if gap != res.MaxServeGap {
+		t.Errorf("watchdog max gap %d != result MaxServeGap %d", gap, res.MaxServeGap)
+	}
+	if got := res.PerCore[worst].MaxServeGap; got != gap {
+		t.Errorf("worst core %d has MaxServeGap %d, watchdog says %d", worst, got, gap)
+	}
+}
+
+func TestWatchdogQuietWhenFair(t *testing.T) {
+	// Everything hits after the first fetch: gaps stay tiny.
+	ts := [][]model.PageID{{0, 0, 0, 0, 0, 0}, {1, 1, 1, 1, 1, 1}}
+	wd := NewStarvationWatchdog(50)
+	runWith(t, core.Config{HBMSlots: 4, Channels: 2}, ts, wd)
+	if eps := wd.Episodes(); len(eps) != 0 {
+		t.Fatalf("unexpected episodes on a fair run: %+v", eps)
+	}
+}
+
+func TestWatchdogZeroThreshold(t *testing.T) {
+	if wd := NewStarvationWatchdog(0); wd.Threshold() != 1 {
+		t.Fatalf("zero threshold must default to 1, got %d", wd.Threshold())
+	}
+}

@@ -1,0 +1,81 @@
+package hbmsim
+
+import (
+	"io"
+
+	"hbmsim/internal/core"
+	"hbmsim/internal/telemetry"
+)
+
+// Observability: the simulator exposes its full event surface through
+// Observer, and internal/telemetry provides ready-made collectors —
+// windowed time series, per-page heat maps, starvation detection, and
+// Perfetto trace export. Attach one with Sim.SetObserver, or several at
+// once with NewMultiObserver. Observers never change simulation results;
+// see DESIGN.md's "Observability" section for the event model and the
+// measured no-op overhead.
+type (
+	// Observer receives simulation events (queue, grant, serve, fetch,
+	// evict, remap, tick end) as they happen. Embed NopObserver to
+	// implement only a subset.
+	Observer = core.Observer
+	// NopObserver is an Observer with empty callbacks, for embedding.
+	NopObserver = core.NopObserver
+	// MultiObserver fans events out to several observers in attach order.
+	MultiObserver = core.MultiObserver
+
+	// Timeline collects windowed time series: per-window hit rate, queue
+	// depth, channel utilization, per-core serve counts, and Jain's
+	// fairness index.
+	Timeline = telemetry.Timeline
+	// TimelineWindow is one window of a Timeline.
+	TimelineWindow = telemetry.Window
+	// Heatmap counts per-page fetches and evictions and ranks hot pages.
+	Heatmap = telemetry.Heatmap
+	// PageHeat is one page's traffic totals in a Heatmap.
+	PageHeat = telemetry.PageHeat
+	// StarvationWatchdog records an episode whenever a core's gap between
+	// consecutive serves exceeds a threshold.
+	StarvationWatchdog = telemetry.StarvationWatchdog
+	// StarvationEpisode is one recorded starvation incident.
+	StarvationEpisode = telemetry.Episode
+	// PerfettoExporter streams events as Chrome trace-event JSON loadable
+	// in ui.perfetto.dev.
+	PerfettoExporter = telemetry.PerfettoExporter
+	// EventLog streams every event as one buffered CSV row.
+	EventLog = telemetry.EventLog
+)
+
+// NewMultiObserver builds a fan-out over several observers, so independent
+// consumers can watch one simulation; nil entries are dropped.
+func NewMultiObserver(obs ...Observer) *MultiObserver {
+	return core.NewMultiObserver(obs...)
+}
+
+// NewTimeline builds a windowed time-series collector with the given
+// window width in ticks (0 selects 1024) for a simulation with the given
+// core and far-channel counts.
+func NewTimeline(window Tick, cores, channels int) *Timeline {
+	return telemetry.NewTimeline(window, cores, channels)
+}
+
+// NewHeatmap builds a per-page fetch/eviction counter.
+func NewHeatmap() *Heatmap { return telemetry.NewHeatmap() }
+
+// NewStarvationWatchdog builds a watchdog flagging serve gaps longer than
+// the threshold (in ticks).
+func NewStarvationWatchdog(threshold Tick) *StarvationWatchdog {
+	return telemetry.NewStarvationWatchdog(threshold)
+}
+
+// NewPerfetto builds a Chrome trace-event exporter writing to w; call
+// Close after the run to finish the trace. The trace holds one track per
+// core and one per far channel, plus eviction/remap instants and
+// queue-depth counters.
+func NewPerfetto(w io.Writer, cores, channels int) *PerfettoExporter {
+	return telemetry.NewPerfetto(w, cores, channels)
+}
+
+// NewEventLog builds a buffered CSV event log writing to w; call Flush
+// after the run.
+func NewEventLog(w io.Writer) *EventLog { return telemetry.NewEventLog(w) }
