@@ -2,9 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench fuzz repro repro-full figures clean
+# bench-json knobs: shrink BENCHTIME for a quick regression check, or
+# point BENCH_OUT elsewhere to compare against the committed baseline.
+BENCHTIME ?= 0.5s
+BENCH_OUT ?= BENCH_PR2.json
+
+.PHONY: all check build vet test test-short test-race bench bench-json fuzz repro repro-full figures clean
 
 all: build vet test test-race
+
+# The one-stop gate: formatting, vet, build, tests (incl. -race), and a
+# fresh machine-readable benchmark snapshot. `vet` fails on gofmt drift.
+check: vet build test test-race bench-json
 
 build:
 	$(GO) build ./...
@@ -28,6 +37,13 @@ test-race:
 # One benchmark per paper table/figure plus component micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark snapshot for regression tracking: runs the
+# full benchmark suite and converts it to schema-stable JSON.
+bench-json:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) ./... \
+		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT)"
 
 # Short fuzzing pass over the trace codecs.
 fuzz:

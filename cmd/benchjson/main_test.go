@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: hbmsim/internal/core
+cpu: AMD EPYC 7B13
+BenchmarkSimRun/sort-8         	     100	  12345678 ns/op	    4567 B/op	      89 allocs/op
+BenchmarkSimRun/spgemm-8       	      50	  23456789 ns/op	    1024 B/op	      12 allocs/op
+PASS
+ok  	hbmsim/internal/core	2.345s
+pkg: hbmsim/internal/arbiter
+BenchmarkArbiterFIFO-8   	 5000000	       231.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkThroughput-8    	    1000	   1000000 ns/op	       52.31 MB/s	       0 B/op	       0 allocs/op
+PASS
+ok  	hbmsim/internal/arbiter	1.111s
+`
+
+func TestParseSample(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != schemaVersion {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("header = %q/%q/%q", rep.GOOS, rep.GOARCH, rep.CPU)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("got %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+
+	// Sorted by package then name: arbiter entries first.
+	b := rep.Benchmarks[0]
+	if b.Package != "hbmsim/internal/arbiter" || b.Name != "BenchmarkArbiterFIFO" {
+		t.Fatalf("first entry = %+v", b)
+	}
+	if b.Procs != 8 || b.Iterations != 5000000 || b.NsPerOp != 231.5 {
+		t.Fatalf("arbiter numbers = %+v", b)
+	}
+
+	tp := rep.Benchmarks[1]
+	if tp.Name != "BenchmarkThroughput" || tp.Extra["MB/s"] != 52.31 {
+		t.Fatalf("extra metric lost: %+v", tp)
+	}
+
+	sim := rep.Benchmarks[2]
+	if sim.Package != "hbmsim/internal/core" || sim.Name != "BenchmarkSimRun/sort" {
+		t.Fatalf("core entry = %+v", sim)
+	}
+	if sim.NsPerOp != 12345678 || sim.BytesPerOp != 4567 || sim.AllocsPerOp != 89 {
+		t.Fatalf("core numbers = %+v", sim)
+	}
+}
+
+// TestParseStable: same input → byte-identical JSON, so committed reports
+// diff cleanly.
+func TestParseStable(t *testing.T) {
+	encode := func() string {
+		rep, err := parse(strings.NewReader(sample))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+	if a, b := encode(), encode(); a != b {
+		t.Fatalf("unstable encoding:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestParseBenchLineErrors(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX",
+		"BenchmarkX-8 notanumber 5 ns/op",
+		"BenchmarkX-8 100 5 ns/op trailing",
+		"BenchmarkX-8 100 bad ns/op",
+	} {
+		if _, err := parseBenchLine(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+// TestParseBenchLineNoProcs: a bare benchmark (GOMAXPROCS=1 omits the
+// suffix) defaults procs to 1 and keeps the name intact.
+func TestParseBenchLineNoProcs(t *testing.T) {
+	b, err := parseBenchLine("BenchmarkSolo \t 200 \t 42 ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != "BenchmarkSolo" || b.Procs != 1 || b.NsPerOp != 42 {
+		t.Fatalf("parsed %+v", b)
+	}
+}

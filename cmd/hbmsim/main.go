@@ -15,10 +15,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"hbmsim"
 
+	"hbmsim/internal/introspect"
 	"hbmsim/internal/report"
 )
 
@@ -45,8 +47,14 @@ func main() {
 		perfetto  = flag.String("perfetto", "", "write a Chrome trace-event JSON for ui.perfetto.dev to this file")
 		heatTop   = flag.Int("heatmap", 0, "print the N hottest pages by fetch count")
 		watchGap  = flag.Uint64("watchdog", 0, "flag starvation episodes with serve gaps above this many ticks")
+		httpAddr  = flag.String("http", "", "serve /metrics, /progress, /debug/vars, /debug/pprof on this address while the run executes (empty = no listener)")
+		logLevel  = flag.String("log-level", "info", "structured-log level: debug|info|warn|error")
 	)
 	flag.Parse()
+
+	if _, err := introspect.SetupLogging(os.Stderr, *logLevel); err != nil {
+		fail(err)
+	}
 
 	wl, err := loadWorkload(*tracePath, *gen, *cores, *size, *pageBytes, *seed)
 	if err != nil {
@@ -84,6 +92,22 @@ func main() {
 		perfettoPath: *perfetto,
 		heatTop:      *heatTop,
 		watchGap:     hbmsim.Tick(*watchGap),
+	}
+	// Opt-in live introspection: with -http unset no listener is opened and
+	// no observer is attached, leaving the run byte-identical to the plain
+	// path.
+	if *httpAddr != "" {
+		tele.metrics = hbmsim.NewMetricsRegistry()
+		tele.progress = &introspect.Progress{}
+		tele.totalRefs = wl.TotalRefs()
+		srv := introspect.New(tele.metrics, tele.progress)
+		bound, err := srv.Start(*httpAddr)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		slog.Info("introspection listening", "addr", bound,
+			"endpoints", "/metrics /progress /debug/vars /debug/pprof/")
 	}
 	var res *hbmsim.Result
 	var col *collectors

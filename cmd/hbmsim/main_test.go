@@ -2,9 +2,12 @@ package main
 
 import (
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"hbmsim"
+
+	"hbmsim/internal/introspect"
 )
 
 func TestGenerateAllKinds(t *testing.T) {
@@ -43,5 +46,45 @@ func TestLoadWorkloadModes(t *testing.T) {
 	}
 	if got.TotalRefs() != wl.TotalRefs() {
 		t.Fatal("trace file round trip lost refs")
+	}
+}
+
+// TestRunObservedWithMetricsMatchesPlain: the -http observers (Meter +
+// progress) leave the Result bit-identical to the plain path, the registry
+// fills with simulator counters, and /progress ends at completion.
+func TestRunObservedWithMetricsMatchesPlain(t *testing.T) {
+	wl, err := generate("spgemm", 4, 48, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := hbmsim.Config{HBMSlots: 64, Channels: 1, Arbiter: hbmsim.ArbiterPriority,
+		Replacement: hbmsim.ReplaceLRU, Permuter: hbmsim.PermuterDynamic, RemapPeriod: 128, Seed: 1}
+
+	plain, err := hbmsim.Run(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := telemetryOptions{
+		metrics:   hbmsim.NewMetricsRegistry(),
+		progress:  &introspect.Progress{},
+		totalRefs: wl.TotalRefs(),
+	}
+	if !opts.enabled() {
+		t.Fatal("metrics registry alone should enable the observed path")
+	}
+	observed, _, err := runObserved(cfg, wl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, observed) {
+		t.Fatalf("live metrics changed the result:\nplain:    %+v\nobserved: %+v", plain, observed)
+	}
+	if got := opts.metrics.Counter("hbmsim_serves_total", "").Value(); got != observed.TotalRefs {
+		t.Fatalf("hbmsim_serves_total = %d, want %d", got, observed.TotalRefs)
+	}
+	snap := opts.progress.Snapshot()
+	if snap.Phase != "simulate" || snap.Completed != int(wl.TotalRefs()) || snap.Percent != 100 {
+		t.Fatalf("final progress = %+v", snap)
 	}
 }

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"hbmsim"
 
+	"hbmsim/internal/introspect"
 	"hbmsim/internal/report"
 )
 
@@ -18,11 +20,47 @@ type telemetryOptions struct {
 	perfettoPath string
 	heatTop      int
 	watchGap     hbmsim.Tick
+
+	// metrics/progress carry the -http live-introspection state; totalRefs
+	// sizes the /progress completion fraction.
+	metrics   *hbmsim.MetricsRegistry
+	progress  *introspect.Progress
+	totalRefs uint64
 }
 
 func (t telemetryOptions) enabled() bool {
 	return t.eventsPath != "" || t.timelinePath != "" || t.perfettoPath != "" ||
-		t.heatTop > 0 || t.watchGap > 0
+		t.heatTop > 0 || t.watchGap > 0 || t.metrics != nil
+}
+
+// progressObserver refreshes the /progress view from the Meter's counters
+// every refreshTicks simulated ticks — cheap enough for the tick loop,
+// fresh enough for a human watching curl.
+type progressObserver struct {
+	hbmsim.NopObserver
+	prog  *introspect.Progress
+	meter *hbmsim.Meter
+	total uint64
+	start time.Time
+}
+
+const refreshTicks = 1024
+
+func (p *progressObserver) OnTickEnd(t hbmsim.Tick, _, _ int) {
+	if uint64(t)%refreshTicks != 0 {
+		return
+	}
+	p.refresh()
+}
+
+func (p *progressObserver) refresh() {
+	served := p.meter.Serves()
+	elapsed := time.Since(p.start)
+	var eta time.Duration
+	if served > 0 && served < p.total {
+		eta = time.Duration(float64(elapsed) / float64(served) * float64(p.total-served))
+	}
+	p.prog.Update(int(served), int(p.total), 0, elapsed, eta)
 }
 
 // collectors holds the attached telemetry consumers so their findings can
@@ -93,11 +131,25 @@ func runObserved(cfg hbmsim.Config, wl *hbmsim.Workload, opts telemetryOptions) 
 		col.watchdog = hbmsim.NewStarvationWatchdog(opts.watchGap)
 		multi.Attach(col.watchdog)
 	}
+	var prog *progressObserver
+	if opts.metrics != nil {
+		meter := hbmsim.NewMeter(opts.metrics)
+		multi.Attach(meter)
+		if opts.progress != nil {
+			opts.progress.SetPhase("simulate", int(opts.totalRefs))
+			prog = &progressObserver{prog: opts.progress, meter: meter,
+				total: opts.totalRefs, start: time.Now()}
+			multi.Attach(prog)
+		}
+	}
 
 	sim.SetObserver(multi)
 	for sim.Step() {
 	}
 	res := sim.Result()
+	if prog != nil {
+		prog.refresh() // final update so /progress shows completion
+	}
 
 	if events != nil {
 		if err := events.Flush(); err != nil {

@@ -12,31 +12,43 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"hbmsim/internal/experiments"
+	"hbmsim/internal/introspect"
+	"hbmsim/internal/metrics"
 	"hbmsim/internal/report"
+	"hbmsim/internal/sweep"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id, comma-separated list, or 'all'")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		full    = flag.Bool("full", false, "use paper-scale parameters (slow)")
-		seed    = flag.Int64("seed", 1, "random seed for workloads and policies")
-		workers = flag.Int("workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
-		csvPath = flag.String("csv", "", "write the experiments' tables as CSV to this file")
-		svgDir  = flag.String("svg", "", "write each figure's chart as <id>.svg into this directory")
-		chart   = flag.Bool("chart", true, "render ASCII charts for figures")
-		sortN   = flag.Int("sortn", 0, "override sort workload size")
-		spgemmN = flag.Int("spgemmn", 0, "override SpGEMM dimension")
-		threads = flag.String("threads", "", "override the thread-count axis, e.g. 8,32,128,200")
-		slots   = flag.String("k", "", "override the HBM-size axis, e.g. 1000,3000,5000")
+		exp      = flag.String("exp", "", "experiment id, comma-separated list, or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		full     = flag.Bool("full", false, "use paper-scale parameters (slow)")
+		seed     = flag.Int64("seed", 1, "random seed for workloads and policies")
+		workers  = flag.Int("workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
+		csvPath  = flag.String("csv", "", "write the experiments' tables as CSV to this file")
+		svgDir   = flag.String("svg", "", "write each figure's chart as <id>.svg into this directory")
+		chart    = flag.Bool("chart", true, "render ASCII charts for figures")
+		sortN    = flag.Int("sortn", 0, "override sort workload size")
+		spgemmN  = flag.Int("spgemmn", 0, "override SpGEMM dimension")
+		threads  = flag.String("threads", "", "override the thread-count axis, e.g. 8,32,128,200")
+		slots    = flag.String("k", "", "override the HBM-size axis, e.g. 1000,3000,5000")
+		httpAddr = flag.String("http", "", "serve /metrics, /progress, /debug/vars, /debug/pprof on this address (e.g. :8080; empty = no listener)")
+		logLevel = flag.String("log-level", "info", "structured-log level: debug|info|warn|error")
 	)
 	flag.Parse()
+
+	if _, err := introspect.SetupLogging(os.Stderr, *logLevel); err != nil {
+		fmt.Fprintf(os.Stderr, "hbmsweep: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -83,6 +95,15 @@ func main() {
 		ids = experiments.IDs()
 	}
 
+	// Opt-in live introspection: with -http unset, no listener is opened,
+	// no registry exists, and the experiments run exactly as before.
+	intro := newIntrospection(*httpAddr)
+	if intro != nil {
+		defer intro.srv.Close()
+		o.Metrics = intro.reg
+		o.OnProgress = intro.onProgress
+	}
+
 	var csv *os.File
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
@@ -95,11 +116,18 @@ func main() {
 	}
 
 	for _, id := range ids {
-		out, err := experiments.Run(strings.TrimSpace(id), o)
+		id = strings.TrimSpace(id)
+		if intro != nil {
+			intro.prog.SetPhase(id, 0)
+		}
+		slog.Info("experiment starting", "id", id)
+		t0 := time.Now()
+		out, err := experiments.Run(id, o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hbmsweep: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		slog.Info("experiment finished", "id", id, "elapsed", time.Since(t0).Round(time.Millisecond))
 		printOutcome(out, *chart)
 		if csv != nil {
 			for _, t := range out.Tables {
@@ -116,6 +144,39 @@ func main() {
 			}
 		}
 	}
+}
+
+// introspection bundles the opt-in live-monitoring state behind -http.
+type introspection struct {
+	srv  *introspect.Server
+	reg  *metrics.Registry
+	prog *introspect.Progress
+}
+
+// newIntrospection starts the HTTP introspection server, or returns nil —
+// opening no listener and creating no registry — when addr is empty.
+func newIntrospection(addr string) *introspection {
+	if addr == "" {
+		return nil
+	}
+	in := &introspection{reg: metrics.NewRegistry(), prog: &introspect.Progress{}}
+	in.srv = introspect.New(in.reg, in.prog)
+	bound, err := in.srv.Start(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hbmsweep: %v\n", err)
+		os.Exit(1)
+	}
+	slog.Info("introspection listening", "addr", bound,
+		"endpoints", "/metrics /progress /debug/vars /debug/pprof/")
+	return in
+}
+
+// onProgress forwards sweep updates to the /progress view and the debug
+// log.
+func (in *introspection) onProgress(p sweep.Progress) {
+	in.prog.Update(p.Completed, p.Total, p.Failed, p.Elapsed, p.ETA)
+	slog.Debug("sweep progress", "completed", p.Completed, "total", p.Total,
+		"failed", p.Failed, "eta", p.ETA.Round(time.Second))
 }
 
 // parseInts parses a comma-separated list of positive integers.

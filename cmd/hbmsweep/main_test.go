@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hbmsim/internal/experiments"
+)
 
 func TestParseInts(t *testing.T) {
 	got, err := parseInts(" 8, 32 ,128")
@@ -14,5 +22,80 @@ func TestParseInts(t *testing.T) {
 		if _, err := parseInts(bad); err == nil {
 			t.Errorf("%q accepted", bad)
 		}
+	}
+}
+
+// TestNoListenerWithoutFlag: with -http unset, no introspection state (and
+// so no listener, registry, or observer) exists at all.
+func TestNoListenerWithoutFlag(t *testing.T) {
+	if in := newIntrospection(""); in != nil {
+		t.Fatalf("empty -http started introspection: %+v", in)
+	}
+}
+
+// fastOptions shrinks the experiment suite enough for a unit test.
+func fastOptions() experiments.Options {
+	o := experiments.Default()
+	o.SortN = 400
+	o.SpGEMMN = 24
+	o.Threads = []int{2, 4}
+	o.HBMSlots = []int{40}
+	o.Workers = 2
+	return o
+}
+
+// TestIntrospectionServesLiveSweep runs a real (tiny) experiment with the
+// -http surface attached and checks /metrics and /progress reflect it —
+// and that the attached introspection does not change the experiment's
+// measured outcome.
+func TestIntrospectionServesLiveSweep(t *testing.T) {
+	const id = "fig2a"
+	plain, err := experiments.Run(id, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := newIntrospection("127.0.0.1:0")
+	defer in.srv.Close()
+	o := fastOptions()
+	o.Metrics = in.reg
+	o.OnProgress = in.onProgress
+	in.prog.SetPhase(id, 0)
+	observed, err := experiments.Run(id, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.Headline != observed.Headline || !reflect.DeepEqual(plain.Tables, observed.Tables) {
+		t.Fatalf("introspection changed the outcome:\nplain:    %s\nobserved: %s",
+			plain.Headline, observed.Headline)
+	}
+
+	fetch := func(path string) string {
+		resp, err := http.Get("http://" + in.srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	mtx := fetch("/metrics")
+	for _, want := range []string{
+		"sweep_jobs_started_total", "sweep_jobs_finished_total", "sweep_job_seconds_bucket",
+	} {
+		if !strings.Contains(mtx, want) {
+			t.Errorf("/metrics missing %s:\n%s", want, mtx)
+		}
+	}
+	if strings.Contains(mtx, "sweep_jobs_failed_total 0\n") == false {
+		t.Errorf("/metrics reports sweep failures:\n%s", mtx)
+	}
+	prog := fetch("/progress")
+	if !strings.Contains(prog, `"phase": "fig2a"`) {
+		t.Errorf("/progress missing phase:\n%s", prog)
 	}
 }

@@ -45,7 +45,7 @@ func ablChannels(o Options) (*Outcome, error) {
 			sweep.Job{Name: fmt.Sprintf("Priority q=%d", q), Config: priorityConfig(q)(k, seed+1), Workload: sub},
 		)
 	}
-	rows := sweep.Run(jobs, o.Workers)
+	rows := o.run(jobs)
 	if err := sweep.FirstError(rows); err != nil {
 		return nil, err
 	}
@@ -112,7 +112,7 @@ func ablReplacement(o Options) (*Outcome, error) {
 			})
 		}
 	}
-	rows := sweep.Run(jobs, o.Workers)
+	rows := o.run(jobs)
 	if err := sweep.FirstError(rows); err != nil {
 		return nil, err
 	}
@@ -175,7 +175,7 @@ func ablPermuters(o Options) (*Outcome, error) {
 			Workload: sub,
 		}
 	}
-	rows := sweep.Run(jobs, o.Workers)
+	rows := o.run(jobs)
 	if err := sweep.FirstError(rows); err != nil {
 		return nil, err
 	}
@@ -242,7 +242,7 @@ func ablImbalance(o Options) (*Outcome, error) {
 			})
 		}
 	}
-	rows := sweep.Run(jobs, o.Workers)
+	rows := o.run(jobs)
 	if err := sweep.FirstError(rows); err != nil {
 		return nil, err
 	}

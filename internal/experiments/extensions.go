@@ -61,7 +61,7 @@ func ablMapping(o Options) (*Outcome, error) {
 			})
 		}
 	}
-	rows := sweep.Run(jobs, o.Workers)
+	rows := o.run(jobs)
 	if err := sweep.FirstError(rows); err != nil {
 		return nil, err
 	}
@@ -131,7 +131,7 @@ func ablOffline(o Options) (*Outcome, error) {
 			Workload: sub,
 		}
 	}
-	rows := sweep.Run(jobs, o.Workers)
+	rows := o.run(jobs)
 	if err := sweep.FirstError(rows); err != nil {
 		return nil, err
 	}
@@ -196,7 +196,7 @@ func ablAugmentation(o Options) (*Outcome, error) {
 			Workload: wl,
 		})
 	}
-	rows := sweep.Run(jobs, o.Workers)
+	rows := o.run(jobs)
 	if err := sweep.FirstError(rows); err != nil {
 		return nil, err
 	}

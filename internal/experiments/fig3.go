@@ -44,7 +44,7 @@ func figure3(o Options) (*Outcome, error) {
 	if len(ps) == 0 {
 		return nil, fmt.Errorf("experiments: fig3 needs a thread count >= 4 in the axis")
 	}
-	rows := sweep.Run(jobs, o.Workers)
+	rows := o.run(jobs)
 	if err := sweep.FirstError(rows); err != nil {
 		return nil, err
 	}

@@ -71,7 +71,7 @@ func tradeoffRun(o Options, wl *trace.Workload) ([]scheme, []sweep.Row, int, err
 			Workload: sub,
 		}
 	}
-	rows := sweep.Run(jobs, o.Workers)
+	rows := o.run(jobs)
 	if err := sweep.FirstError(rows); err != nil {
 		return nil, nil, 0, err
 	}

@@ -44,7 +44,7 @@ func ablLatency(o Options) (*Outcome, error) {
 			sweep.Job{Name: fmt.Sprintf("Priority L=%d", l), Config: prioCfg, Workload: sub},
 		)
 	}
-	rows := sweep.Run(jobs, o.Workers)
+	rows := o.run(jobs)
 	if err := sweep.FirstError(rows); err != nil {
 		return nil, err
 	}
@@ -108,7 +108,7 @@ func ablResponseCDF(o Options) (*Outcome, error) {
 			Workload: sub,
 		}
 	}
-	rows := sweep.Run(jobs, o.Workers)
+	rows := o.run(jobs)
 	if err := sweep.FirstError(rows); err != nil {
 		return nil, err
 	}

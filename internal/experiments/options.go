@@ -1,6 +1,12 @@
 package experiments
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+
+	"hbmsim/internal/metrics"
+	"hbmsim/internal/sweep"
+)
 
 // Options scales and seeds the experiment suite.
 type Options struct {
@@ -36,6 +42,35 @@ type Options struct {
 	Seed int64
 	// Workers bounds sweep parallelism; <= 0 means GOMAXPROCS.
 	Workers int
+
+	// Ctx, when non-nil, cancels the experiment's sweeps between jobs
+	// (finished rows are kept, undispatched jobs error with the context's
+	// cause). Options carrying a context is unidiomatic for APIs that
+	// block per call, but experiments fan one Options out across many
+	// internal sweeps, so the field keeps every signature unchanged.
+	Ctx context.Context
+	// OnProgress, when non-nil, receives one update per finished sweep
+	// job (completed/total, failures, elapsed, ETA). Totals are per
+	// sweep, not per experiment: an experiment may launch several sweeps.
+	OnProgress func(sweep.Progress)
+	// Metrics, when non-nil, receives live sweep counters and gauges (see
+	// sweep.Options.Metrics).
+	Metrics *metrics.Registry
+}
+
+// run executes one sweep with the Options' live-introspection surface
+// (context, progress callback, metrics registry) applied.
+func (o Options) run(jobs []sweep.Job) []sweep.Row {
+	return sweep.RunContext(o.Ctx, jobs, o.sweepOptions())
+}
+
+// runReplicated is run for seed-replicated sweeps.
+func (o Options) runReplicated(jobs []sweep.Job, replicas int) []sweep.Replicated {
+	return sweep.RunReplicatedContext(o.Ctx, jobs, replicas, o.sweepOptions())
+}
+
+func (o Options) sweepOptions() sweep.Options {
+	return sweep.Options{Workers: o.Workers, OnProgress: o.OnProgress, Metrics: o.Metrics}
 }
 
 // Default returns laptop-scale options that preserve the paper's scarcity

@@ -44,7 +44,7 @@ func (st ratioStudy) run(o Options, wl *trace.Workload) (*report.Table, []report
 			cells = append(cells, cell{pi, ki})
 		}
 	}
-	rows := sweep.Run(jobs, o.Workers)
+	rows := o.run(jobs)
 	if err := sweep.FirstError(rows); err != nil {
 		return nil, nil, ratioExtremes{}, err
 	}

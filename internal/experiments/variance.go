@@ -36,7 +36,7 @@ func ablVariance(o Options) (*Outcome, error) {
 		{Name: "Dynamic T=10k", Config: dynamicConfig(o.Channels, o.DynamicT)(k, o.Seed), Workload: sub},
 		{Name: "Random", Config: randomConfig(o.Channels)(k, o.Seed), Workload: sub},
 	}
-	rows := sweep.RunReplicated(jobs, replicas, o.Workers)
+	rows := o.runReplicated(jobs, replicas)
 	for _, r := range rows {
 		if r.Err != nil {
 			return nil, fmt.Errorf("experiments: variance job %q: %w", r.Job.Name, r.Err)

@@ -1,0 +1,34 @@
+package introspect
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLogLevel maps the CLI's -log-level values onto slog levels.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("introspect: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// SetupLogging installs a text slog handler at the given level on w as the
+// process default logger, and returns the parsed level.
+func SetupLogging(w io.Writer, level string) (slog.Level, error) {
+	lvl, err := ParseLogLevel(level)
+	if err != nil {
+		return 0, err
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: lvl})))
+	return lvl, nil
+}

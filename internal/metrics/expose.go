@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE pair per metric, counters and
+// gauges as plain samples, histograms as cumulative `le`-labelled buckets
+// plus `_sum` and `_count` series. Counters are monotone across scrapes
+// and histogram buckets are cumulative within one scrape, so the output
+// can be scraped directly by Prometheus or read with curl.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		if s.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+			return err
+		}
+		switch s.Kind {
+		case KindHistogram:
+			for i, bound := range s.Bounds {
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", s.Name, formatBound(bound), s.Cumulative[i]); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", s.Name, s.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", s.Name, formatValue(s.Sum), s.Name, s.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, formatValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do:
+// integral bounds without a decimal point.
+func formatBound(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// expvarSnapshot is the JSON shape of one instrument in WriteJSON output.
+type expvarSnapshot struct {
+	Kind  string      `json:"kind"`
+	Help  string      `json:"help,omitempty"`
+	Value float64     `json:"value,omitempty"`
+	Hist  *expvarHist `json:"histogram,omitempty"`
+}
+
+type expvarHist struct {
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets map[string]uint64 `json:"buckets"`
+}
+
+// WriteJSON writes the registry as a single JSON object keyed by metric
+// name — the shape served under /debug/vars alongside expvar's built-in
+// cmdline/memstats entries. Histogram buckets are keyed by their upper
+// bound ("+Inf" for the overflow bucket) and are cumulative, matching the
+// Prometheus exposition.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := map[string]expvarSnapshot{}
+	for _, s := range r.Snapshot() {
+		es := expvarSnapshot{Kind: s.Kind.String(), Help: s.Help, Value: s.Value}
+		if s.Kind == KindHistogram {
+			buckets := make(map[string]uint64, len(s.Bounds)+1)
+			for i, bound := range s.Bounds {
+				buckets[formatBound(bound)] = s.Cumulative[i]
+			}
+			buckets["+Inf"] = s.Count
+			es.Hist = &expvarHist{Count: s.Count, Sum: s.Sum, Buckets: buckets}
+			es.Value = 0
+		}
+		out[s.Name] = es
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"context"
+
 	"hbmsim/internal/core"
 	"hbmsim/internal/stats"
 )
@@ -29,6 +31,13 @@ const seedStride = 1 << 20
 // Seed+stride, ...) on the worker pool and aggregates per-job statistics.
 // replicas < 1 is treated as 1.
 func RunReplicated(jobs []Job, replicas, workers int) []Replicated {
+	return RunReplicatedContext(context.Background(), jobs, replicas, Options{Workers: workers})
+}
+
+// RunReplicatedContext is RunReplicated with RunContext's cancellation,
+// progress, and metrics surface; the Progress totals count the expanded
+// (job x replica) list.
+func RunReplicatedContext(ctx context.Context, jobs []Job, replicas int, opts Options) []Replicated {
 	if replicas < 1 {
 		replicas = 1
 	}
@@ -41,7 +50,7 @@ func RunReplicated(jobs []Job, replicas, workers int) []Replicated {
 			expanded = append(expanded, jr)
 		}
 	}
-	rows := Run(expanded, workers)
+	rows := RunContext(ctx, expanded, opts)
 
 	out := make([]Replicated, len(jobs))
 	for i, j := range jobs {

@@ -5,15 +5,23 @@
 //
 // Each Job is one (configuration, workload) point; Run fans the jobs out
 // over a bounded worker pool and returns results in job order, so callers
-// get deterministic tables regardless of scheduling.
+// get deterministic tables regardless of scheduling. RunContext adds the
+// live-introspection surface: context cancellation between jobs, a
+// Progress callback with completion counts and an ETA, and runtime
+// counters in a metrics.Registry. A worker panic is captured into that
+// job's Row.Err instead of crashing the whole sweep.
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"hbmsim/internal/core"
+	"hbmsim/internal/metrics"
 	"hbmsim/internal/trace"
 )
 
@@ -34,13 +42,82 @@ type Row struct {
 	// Result is the simulation summary; non-nil even when Err is a
 	// truncation (the partial result is preserved).
 	Result *core.Result
-	// Err reports a configuration error or truncation.
+	// Err reports a configuration error, a truncation, a worker panic, or
+	// — for jobs never started because the context was cancelled — the
+	// context's error.
 	Err error
 }
 
+// Progress is one live-progress update, delivered after a job finishes.
+// Updates are serialized (never concurrent) and Completed increases by one
+// per call, reaching Total on the final update of an uncancelled sweep.
+type Progress struct {
+	// Completed counts finished jobs (including failed ones); Total is
+	// len(jobs).
+	Completed, Total int
+	// Failed counts finished jobs whose Row.Err is non-nil.
+	Failed int
+	// Elapsed is the wall time since the sweep started.
+	Elapsed time.Duration
+	// ETA linearly extrapolates the remaining wall time from the average
+	// per-job rate so far (0 when the sweep is done).
+	ETA time.Duration
+}
+
+// Options configures RunContext beyond the job list.
+type Options struct {
+	// Workers bounds pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// OnProgress, when non-nil, receives one serialized Progress update
+	// after each job finishes. Keep it cheap: workers block on it.
+	OnProgress func(Progress)
+	// Metrics, when non-nil, receives live sweep counters:
+	// sweep_jobs_started_total / _finished_total / _failed_total, the
+	// sweep_job_seconds wall-time histogram (its _sum is total busy
+	// seconds, so busy/(workers*elapsed) is worker utilization), and the
+	// sweep_workers / sweep_workers_busy gauges.
+	Metrics *metrics.Registry
+}
+
 // Run executes the jobs on min(workers, len(jobs)) goroutines and returns
-// one Row per Job, in job order. workers <= 0 selects GOMAXPROCS.
+// one Row per Job, in job order. workers <= 0 selects GOMAXPROCS. It is
+// RunContext with a background context and default options.
 func Run(jobs []Job, workers int) []Row {
+	return RunContext(context.Background(), jobs, Options{Workers: workers})
+}
+
+// instruments bundles the registry handles one sweep updates; the zero
+// value (from a nil registry) consists of no-op instruments.
+type instruments struct {
+	started, finished, failed *metrics.Counter
+	workers, busy             *metrics.Gauge
+	jobSeconds                *metrics.Histogram
+}
+
+func newInstruments(reg *metrics.Registry) instruments {
+	return instruments{
+		started:  reg.Counter("sweep_jobs_started_total", "sweep jobs handed to a worker"),
+		finished: reg.Counter("sweep_jobs_finished_total", "sweep jobs completed (including failures)"),
+		failed:   reg.Counter("sweep_jobs_failed_total", "sweep jobs finished with a non-nil error"),
+		workers:  reg.Gauge("sweep_workers", "size of the sweep worker pool"),
+		busy:     reg.Gauge("sweep_workers_busy", "workers currently running a job"),
+		// 1ms .. ~8.7min in doubling buckets covers laptop-scale points and
+		// paper-scale ones.
+		jobSeconds: reg.Histogram("sweep_job_seconds", "per-job wall time in seconds",
+			metrics.ExpBuckets(0.001, 2, 20)),
+	}
+}
+
+// RunContext executes the jobs on a bounded worker pool and returns one
+// Row per Job, in job order. Cancelling ctx stops dispatching: jobs
+// already picked up run to completion, and every job never started gets a
+// Row whose Err is the context's error (its Result stays nil). A nil ctx
+// is treated as context.Background().
+func RunContext(ctx context.Context, jobs []Job, opts Options) []Row {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -48,6 +125,41 @@ func Run(jobs []Job, workers int) []Row {
 		workers = len(jobs)
 	}
 	rows := make([]Row, len(jobs))
+	if len(jobs) == 0 {
+		return rows
+	}
+	ins := newInstruments(opts.Metrics)
+	ins.workers.Set(int64(workers))
+
+	start := time.Now()
+	var (
+		progressMu    sync.Mutex
+		done, failedN int
+	)
+	report := func(jobErr error) {
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		done++
+		if jobErr != nil {
+			failedN++
+		}
+		if opts.OnProgress == nil {
+			return
+		}
+		elapsed := time.Since(start)
+		var eta time.Duration
+		if remaining := len(jobs) - done; remaining > 0 {
+			eta = time.Duration(float64(elapsed) / float64(done) * float64(remaining))
+		}
+		opts.OnProgress(Progress{
+			Completed: done,
+			Total:     len(jobs),
+			Failed:    failedN,
+			Elapsed:   elapsed,
+			ETA:       eta,
+		})
+	}
+
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -55,18 +167,56 @@ func Run(jobs []Job, workers int) []Row {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				job := jobs[i]
-				res, err := core.Run(job.Config, job.Workload.Raw())
-				rows[i] = Row{Job: job, Result: res, Err: err}
+				ins.started.Inc()
+				ins.busy.Add(1)
+				t0 := time.Now()
+				rows[i] = runJob(jobs[i])
+				ins.jobSeconds.Observe(time.Since(t0).Seconds())
+				ins.busy.Add(-1)
+				ins.finished.Inc()
+				if rows[i].Err != nil {
+					ins.failed.Inc()
+				}
+				report(rows[i].Err)
 			}
 		}()
 	}
+	undispatched := 0
+dispatch:
 	for i := range jobs {
-		next <- i
+		select {
+		case next <- i:
+			undispatched = i + 1
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	// Jobs are dispatched in order, so everything at undispatched and
+	// beyond never reached a worker; mark them cancelled rather than
+	// leaving silent zero Rows.
+	if err := context.Cause(ctx); err != nil {
+		for i := undispatched; i < len(jobs); i++ {
+			rows[i] = Row{Job: jobs[i], Err: fmt.Errorf("sweep: job %q not run: %w", jobs[i].Name, err)}
+		}
+	}
 	return rows
+}
+
+// runJob executes one job, converting a panic anywhere under core.Run into
+// the row's error so one poisoned configuration cannot take down the other
+// len(jobs)-1 points of a long sweep.
+func runJob(job Job) (row Row) {
+	row.Job = job
+	defer func() {
+		if p := recover(); p != nil {
+			row.Result = nil
+			row.Err = fmt.Errorf("sweep: job %q panicked: %v\n%s", job.Name, p, debug.Stack())
+		}
+	}()
+	row.Result, row.Err = core.Run(job.Config, job.Workload.Raw())
+	return row
 }
 
 // FirstError returns the first non-nil error among the rows, wrapped with

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"errors"
+	"testing"
+
+	"hbmsim/internal/model"
+)
+
+// chokeWriter accepts limit bytes, then fails every write — a stand-in for
+// a full pipe or a closed file under a streaming exporter.
+type chokeWriter struct {
+	limit int
+	n     int
+}
+
+var errChoke = errors.New("sink is full")
+
+func (c *chokeWriter) Write(p []byte) (int, error) {
+	if c.n+len(p) > c.limit {
+		return 0, errChoke
+	}
+	c.n += len(p)
+	return len(p), nil
+}
+
+func TestErrWriterLatchesFirstError(t *testing.T) {
+	ew := newErrWriter(&chokeWriter{limit: 4})
+	ew.writeString("0123456789") // fits the bufio buffer, no error yet
+	if ew.Err() != nil {
+		t.Fatalf("buffered write errored early: %v", ew.Err())
+	}
+	if err := ew.flush(); !errors.Is(err, errChoke) {
+		t.Fatalf("flush = %v, want errChoke", err)
+	}
+	if !errors.Is(ew.Err(), errChoke) {
+		t.Fatalf("Err after flush = %v, want latched errChoke", ew.Err())
+	}
+	// Later writes and flushes stay harmless and keep reporting the first
+	// error.
+	ew.writeString("more")
+	ew.writeByte('x')
+	if _, err := ew.Write([]byte("even more")); err != nil {
+		t.Fatalf("post-latch Write should swallow, got %v", err)
+	}
+	if err := ew.flush(); !errors.Is(err, errChoke) {
+		t.Fatalf("second flush = %v, want errChoke", err)
+	}
+}
+
+// TestEventLogFailingWriter: the hot path never panics on a dead sink, Err
+// surfaces the failure mid-run, and Flush returns it.
+func TestEventLogFailingWriter(t *testing.T) {
+	l := NewEventLog(&chokeWriter{limit: 64})
+	for i := 0; i < 10000; i++ { // far beyond the 64-byte sink + 4KiB bufio buffer
+		l.OnServe(0, 1, 1, 1)
+	}
+	if l.Err() == nil {
+		t.Fatal("EventLog.Err did not latch the sink failure mid-run")
+	}
+	if err := l.Flush(); !errors.Is(err, errChoke) {
+		t.Fatalf("Flush = %v, want errChoke", err)
+	}
+}
+
+// TestPerfettoFailingWriter: same contract for the trace exporter's Close.
+func TestPerfettoFailingWriter(t *testing.T) {
+	e := NewPerfetto(&chokeWriter{limit: 64}, 2, 1)
+	for i := 0; i < 2000; i++ {
+		e.OnServe(0, 1, 1, 1)
+		e.OnTickEnd(1, i%7, 0)
+	}
+	if e.Err() == nil {
+		t.Fatal("PerfettoExporter.Err did not latch the sink failure mid-run")
+	}
+	if err := e.Close(); !errors.Is(err, errChoke) {
+		t.Fatalf("Close = %v, want errChoke", err)
+	}
+}
+
+// TestTimelineCSVFailingWriter: WriteCSV reports the first sink error.
+func TestTimelineCSVFailingWriter(t *testing.T) {
+	tl := NewTimeline(10, 2, 1)
+	for tick := 1; tick <= 500; tick++ {
+		tl.OnServe(0, 1, model.Tick(tick), 1)
+		tl.OnTickEnd(model.Tick(tick), 1, 0)
+	}
+	if err := tl.WriteCSV(&chokeWriter{limit: 32}); !errors.Is(err, errChoke) {
+		t.Fatalf("WriteCSV = %v, want errChoke", err)
+	}
+}

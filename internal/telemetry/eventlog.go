@@ -79,3 +79,8 @@ func (l *EventLog) OnEvict(p model.PageID, t model.Tick) {
 
 // Flush drains buffered rows and returns the first write error, if any.
 func (l *EventLog) Flush() error { return l.bw.flush() }
+
+// Err returns the first write error latched so far without flushing, so a
+// long run can detect a dead sink early. Flush still returns the same
+// error at the end.
+func (l *EventLog) Err() error { return l.bw.Err() }

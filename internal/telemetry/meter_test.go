@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+
+	"hbmsim/internal/core"
+	"hbmsim/internal/metrics"
+)
+
+func TestMeterCountsMatchResult(t *testing.T) {
+	ts := testTraces(4, 8, 200)
+	cfg := core.Config{HBMSlots: 8, Channels: 2, Seed: 7, Arbiter: "priority",
+		Permuter: "dynamic", RemapPeriod: 64}
+
+	reg := metrics.NewRegistry()
+	m := NewMeter(reg)
+	res := runWith(t, cfg, ts, m)
+
+	counter := func(name string) uint64 { return reg.Counter(name, "").Value() }
+	if got := counter("hbmsim_serves_total"); got != res.TotalRefs {
+		t.Errorf("serves = %d, want %d", got, res.TotalRefs)
+	}
+	if got := counter("hbmsim_hits_total"); got != res.Hits {
+		t.Errorf("hits = %d, want %d", got, res.Hits)
+	}
+	if got := counter("hbmsim_fetches_total"); got != res.Fetches {
+		t.Errorf("fetches = %d, want %d", got, res.Fetches)
+	}
+	if got := counter("hbmsim_evictions_total"); got != res.Evictions {
+		t.Errorf("evictions = %d, want %d", got, res.Evictions)
+	}
+	if got := counter("hbmsim_remaps_total"); got != res.Remaps {
+		t.Errorf("remaps = %d, want %d", got, res.Remaps)
+	}
+	if got := counter("hbmsim_ticks_total"); got == 0 || got < uint64(res.Makespan) {
+		t.Errorf("ticks = %d, want >= makespan %d", got, res.Makespan)
+	}
+	if m.Serves() != res.TotalRefs {
+		t.Errorf("Meter.Serves() = %d, want %d", m.Serves(), res.TotalRefs)
+	}
+	if m.Ticks() != counter("hbmsim_ticks_total") {
+		t.Errorf("Meter.Ticks() disagrees with the registry")
+	}
+	// The response histogram saw every serve; its hit bucket (le=1) equals
+	// the hit counter.
+	h := reg.Histogram("hbmsim_response_ticks", "", metrics.ExpBuckets(1, 2, 16))
+	if h.Count() != res.TotalRefs {
+		t.Errorf("response histogram count = %d, want %d", h.Count(), res.TotalRefs)
+	}
+	if cum := h.Cumulative(); cum[0] != res.Hits {
+		t.Errorf("response le=1 bucket = %d, want hits %d", cum[0], res.Hits)
+	}
+	if got := reg.Histogram("hbmsim_queue_depth", "", metrics.ExpBuckets(1, 2, 12)).Count(); got != m.Ticks() {
+		t.Errorf("queue-depth histogram count = %d, want one per tick %d", got, m.Ticks())
+	}
+}
+
+// TestMeterDifferential: attaching a Meter yields a bit-identical Result
+// to running unobserved — the acceptance bar for live introspection.
+func TestMeterDifferential(t *testing.T) {
+	ts := testTraces(3, 10, 300)
+	cfg := core.Config{HBMSlots: 6, Channels: 1, Seed: 11, Arbiter: "priority",
+		Permuter: "dynamic", RemapPeriod: 32, CollectHistogram: true}
+
+	plain, err := core.Run(cfg, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := runWith(t, cfg, ts, NewMeter(metrics.NewRegistry()))
+	if !reflect.DeepEqual(plain, observed) {
+		t.Fatalf("Meter changed the result:\nplain:    %+v\nobserved: %+v", plain, observed)
+	}
+}
+
+func TestMeterNilRegistry(t *testing.T) {
+	ts := testTraces(2, 4, 50)
+	m := NewMeter(nil)
+	runWith(t, core.Config{HBMSlots: 4, Channels: 1}, ts, m)
+	if m.Serves() == 0 {
+		t.Fatal("nil-registry Meter did not count")
+	}
+}
+
+// TestMeterShared: two runs on one registry accumulate, preserving
+// counter monotonicity across simulations.
+func TestMeterShared(t *testing.T) {
+	ts := testTraces(2, 4, 50)
+	cfg := core.Config{HBMSlots: 4, Channels: 1, Seed: 5}
+	reg := metrics.NewRegistry()
+
+	runWith(t, cfg, ts, NewMeter(reg))
+	after1 := reg.Counter("hbmsim_serves_total", "").Value()
+	runWith(t, cfg, ts, NewMeter(reg))
+	after2 := reg.Counter("hbmsim_serves_total", "").Value()
+	if after2 != 2*after1 || after1 == 0 {
+		t.Fatalf("shared registry did not accumulate: %d then %d", after1, after2)
+	}
+}

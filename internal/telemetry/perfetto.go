@@ -178,3 +178,8 @@ func (e *PerfettoExporter) Close() error {
 	e.bw.writeString("\n]\n")
 	return e.bw.flush()
 }
+
+// Err returns the first write error latched so far without closing the
+// trace, so a long run can detect a dead sink early. Close still returns
+// the same error at the end.
+func (e *PerfettoExporter) Err() error { return e.bw.Err() }

@@ -52,12 +52,22 @@ func (e *errWriter) writeByte(b byte) {
 	}
 }
 
-// flush drains the buffer and returns the first error seen, if any.
+// Err returns the latched first write error, if any, without flushing.
+// Exporters surface it so long-running callers can notice a dead sink
+// mid-run instead of only at Close/Flush.
+func (e *errWriter) Err() error { return e.err }
+
+// flush drains the buffer and returns the first error seen, if any. A
+// failure during the drain itself is latched too, so Err agrees with what
+// flush returned.
 func (e *errWriter) flush() error {
 	if e.err != nil {
 		return e.err
 	}
-	return e.w.Flush()
+	if err := e.w.Flush(); err != nil {
+		e.err = err
+	}
+	return e.err
 }
 
 // jain returns Jain's fairness index over the observations:

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"hbmsim/internal/core"
+	"hbmsim/internal/metrics"
 	"hbmsim/internal/telemetry"
 )
 
@@ -79,3 +80,23 @@ func NewPerfetto(w io.Writer, cores, channels int) *PerfettoExporter {
 // NewEventLog builds a buffered CSV event log writing to w; call Flush
 // after the run.
 func NewEventLog(w io.Writer) *EventLog { return telemetry.NewEventLog(w) }
+
+// Live metrics: Meter streams the simulator's hot-path activity into
+// atomic counters and histograms in a MetricsRegistry, safe to scrape from
+// another goroutine while the simulation runs (cmd/hbmsim's -http flag
+// serves such a registry on /metrics).
+type (
+	// MetricsRegistry is a named set of atomic counters, gauges, and
+	// fixed-bucket histograms with Prometheus-text and JSON exposition.
+	MetricsRegistry = metrics.Registry
+	// Meter is an Observer that mirrors simulation activity into a
+	// MetricsRegistry (hbmsim_ticks_total, hbmsim_serves_total, ...).
+	Meter = telemetry.Meter
+)
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewMeter registers the simulator instruments in reg and returns the
+// observer; attach it with Sim.SetObserver or a MultiObserver.
+func NewMeter(reg *MetricsRegistry) *Meter { return telemetry.NewMeter(reg) }
