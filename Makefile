@@ -5,15 +5,19 @@ GO ?= go
 # bench-json knobs: shrink BENCHTIME for a quick regression check, or
 # point BENCH_OUT elsewhere to compare against the committed baseline.
 BENCHTIME ?= 0.5s
-BENCH_OUT ?= BENCH_PR2.json
+BENCH_OUT ?= BENCH_PR3.json
+# bench-diff compares the previous PR's committed snapshot against the
+# current one and fails on >15% ns/op or allocs/op regressions.
+BENCH_BASE ?= BENCH_PR2.json
 
-.PHONY: all check build vet test test-short test-race bench bench-json fuzz repro repro-full figures clean
+.PHONY: all check build vet test test-short test-race bench bench-json bench-diff profile fuzz repro repro-full figures clean
 
 all: build vet test test-race
 
-# The one-stop gate: formatting, vet, build, tests (incl. -race), and a
-# fresh machine-readable benchmark snapshot. `vet` fails on gofmt drift.
-check: vet build test test-race bench-json
+# The one-stop gate: formatting, vet, build, tests (incl. -race), a fresh
+# machine-readable benchmark snapshot, and the cross-PR regression gate.
+# `vet` fails on gofmt drift.
+check: vet build test test-race bench-json bench-diff
 
 build:
 	$(GO) build ./...
@@ -45,6 +49,23 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
 
+# Cross-PR benchmark regression gate: per-benchmark ns/op and allocs/op
+# deltas between the committed baseline and the current snapshot; exits
+# non-zero when anything regressed more than 15%.
+bench-diff:
+	$(GO) run ./cmd/benchjson -diff $(BENCH_BASE) $(BENCH_OUT)
+
+# CPU and heap profiles of the priority-arbiter simulator benchmark, the
+# tick kernel's hottest configuration. Inspect with
+# `go tool pprof profiles/cpu.out`.
+profile:
+	mkdir -p profiles
+	$(GO) test -run='^$$' -bench=BenchmarkSimPriority -benchtime=$(BENCHTIME) \
+		-cpuprofile=$(abspath profiles/cpu.out) \
+		-memprofile=$(abspath profiles/mem.out) \
+		-o profiles/core.test ./internal/core
+	@echo "wrote profiles/cpu.out profiles/mem.out (binary: profiles/core.test)"
+
 # Short fuzzing pass over the trace codecs.
 fuzz:
 	$(GO) test -fuzz=FuzzReadBinary -fuzztime=30s ./internal/trace/
@@ -63,5 +84,5 @@ figures:
 	$(GO) run ./cmd/hbmsweep -exp all -chart=false -svg figures/
 
 clean:
-	rm -rf figures/
+	rm -rf figures/ profiles/
 	$(GO) clean ./...

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// diffRow is the comparison of one benchmark across two reports.
+type diffRow struct {
+	Package string
+	Name    string
+	// Status is "ok", "regressed", "added", or "removed".
+	Status   string
+	OldNs    float64
+	NewNs    float64
+	NsPct    float64 // signed percent change; +Inf when old is 0 and new is not
+	OldAlloc int64
+	NewAlloc int64
+	AllocPct float64
+	// NsRegressed / AllocRegressed mark which metric tripped the threshold.
+	NsRegressed    bool
+	AllocRegressed bool
+}
+
+// pctChange returns the signed percent change from old to new, +Inf for a
+// growth from zero and 0 when both are zero.
+func pctChange(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (new - old) / old * 100
+}
+
+// diffReports compares two reports benchmark by benchmark. A benchmark
+// regresses when ns/op or allocs/op grows by more than thresholdPct over
+// the old report. Benchmarks present in only one report are listed as
+// added/removed but never count as regressions (renames would otherwise
+// block every refactor). The returned rows are sorted by package then
+// name; regressed reports whether any row regressed.
+func diffReports(old, new *Report, thresholdPct float64) (rows []diffRow, regressed bool) {
+	type key struct {
+		pkg, name string
+		procs     int
+	}
+	oldBy := make(map[key]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldBy[key{b.Package, b.Name, b.Procs}] = b
+	}
+	seen := make(map[key]bool, len(new.Benchmarks))
+	for _, nb := range new.Benchmarks {
+		k := key{nb.Package, nb.Name, nb.Procs}
+		seen[k] = true
+		ob, ok := oldBy[k]
+		if !ok {
+			rows = append(rows, diffRow{Package: nb.Package, Name: nb.Name, Status: "added",
+				NewNs: nb.NsPerOp, NewAlloc: nb.AllocsPerOp})
+			continue
+		}
+		r := diffRow{
+			Package: nb.Package, Name: nb.Name, Status: "ok",
+			OldNs: ob.NsPerOp, NewNs: nb.NsPerOp,
+			NsPct:    pctChange(ob.NsPerOp, nb.NsPerOp),
+			OldAlloc: ob.AllocsPerOp, NewAlloc: nb.AllocsPerOp,
+			AllocPct: pctChange(float64(ob.AllocsPerOp), float64(nb.AllocsPerOp)),
+		}
+		r.NsRegressed = r.NsPct > thresholdPct
+		r.AllocRegressed = r.AllocPct > thresholdPct
+		if r.NsRegressed || r.AllocRegressed {
+			r.Status = "regressed"
+			regressed = true
+		}
+		rows = append(rows, r)
+	}
+	for _, ob := range old.Benchmarks {
+		if k := (key{ob.Package, ob.Name, ob.Procs}); !seen[k] {
+			rows = append(rows, diffRow{Package: ob.Package, Name: ob.Name, Status: "removed",
+				OldNs: ob.NsPerOp, OldAlloc: ob.AllocsPerOp})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Package != rows[j].Package {
+			return rows[i].Package < rows[j].Package
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows, regressed
+}
+
+// fmtPct renders a signed percent change for the diff table.
+func fmtPct(p float64) string {
+	if math.IsInf(p, 1) {
+		return "+inf%"
+	}
+	return fmt.Sprintf("%+.1f%%", p)
+}
+
+// writeDiff prints the per-benchmark delta table.
+func writeDiff(w io.Writer, rows []diffRow, thresholdPct float64) {
+	fmt.Fprintf(w, "%-60s %14s %14s %9s %12s %12s %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "ns Δ", "old allocs", "new allocs", "allocs Δ")
+	for _, r := range rows {
+		name := r.Package + "." + r.Name
+		switch r.Status {
+		case "added":
+			fmt.Fprintf(w, "%-60s %14s %14.1f %9s %12s %12d %9s\n",
+				name, "-", r.NewNs, "added", "-", r.NewAlloc, "")
+		case "removed":
+			fmt.Fprintf(w, "%-60s %14.1f %14s %9s %12d %12s %9s\n",
+				name, r.OldNs, "-", "removed", r.OldAlloc, "-", "")
+		default:
+			mark := ""
+			if r.Status == "regressed" {
+				mark = "  << REGRESSED"
+			}
+			fmt.Fprintf(w, "%-60s %14.1f %14.1f %9s %12d %12d %9s%s\n",
+				name, r.OldNs, r.NewNs, fmtPct(r.NsPct),
+				r.OldAlloc, r.NewAlloc, fmtPct(r.AllocPct), mark)
+		}
+	}
+	fmt.Fprintf(w, "regression threshold: +%.0f%% on ns/op or allocs/op\n", thresholdPct)
+}
+
+// readReport loads and validates a committed JSON report.
+func readReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != schemaVersion {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, schemaVersion)
+	}
+	return &rep, nil
+}
+
+// runDiff implements the -diff mode: load both reports, print the delta
+// table, and report whether anything regressed past the threshold.
+func runDiff(oldPath, newPath string, thresholdPct float64, w io.Writer) (regressed bool, err error) {
+	old, err := readReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	new, err := readReport(newPath)
+	if err != nil {
+		return false, err
+	}
+	rows, regressed := diffReports(old, new, thresholdPct)
+	writeDiff(w, rows, thresholdPct)
+	return regressed, nil
+}

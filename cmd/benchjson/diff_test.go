@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func bench(name string, ns float64, allocs int64) Benchmark {
+	return Benchmark{Package: "pkg", Name: name, Procs: 8, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func report(bs ...Benchmark) *Report {
+	return &Report{Schema: schemaVersion, Benchmarks: bs}
+}
+
+func rowFor(t *testing.T, rows []diffRow, name string) diffRow {
+	t.Helper()
+	for _, r := range rows {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("no diff row for %q", name)
+	return diffRow{}
+}
+
+func TestDiffReportsStatuses(t *testing.T) {
+	old := report(
+		bench("Stable", 100, 10),
+		bench("Faster", 100, 10),
+		bench("SlowerNs", 100, 10),
+		bench("MoreAllocs", 100, 10),
+		bench("Borderline", 100, 10),
+		bench("Removed", 100, 10),
+	)
+	new := report(
+		bench("Stable", 104, 10),
+		bench("Faster", 40, 1),
+		bench("SlowerNs", 140, 10),
+		bench("MoreAllocs", 100, 30),
+		bench("Borderline", 115, 10), // exactly +15%: not a regression
+		bench("Added", 50, 5),
+	)
+	rows, regressed := diffReports(old, new, 15)
+	if !regressed {
+		t.Fatal("regressions not detected")
+	}
+	if len(rows) != 7 {
+		t.Fatalf("got %d rows, want 7", len(rows))
+	}
+	for name, want := range map[string]string{
+		"Stable": "ok", "Faster": "ok", "Borderline": "ok",
+		"SlowerNs": "regressed", "MoreAllocs": "regressed",
+		"Added": "added", "Removed": "removed",
+	} {
+		if got := rowFor(t, rows, name).Status; got != want {
+			t.Errorf("%s: status %q, want %q", name, got, want)
+		}
+	}
+	if r := rowFor(t, rows, "SlowerNs"); !r.NsRegressed || r.AllocRegressed {
+		t.Errorf("SlowerNs: wrong metric flagged: %+v", r)
+	}
+	if r := rowFor(t, rows, "MoreAllocs"); r.NsRegressed || !r.AllocRegressed {
+		t.Errorf("MoreAllocs: wrong metric flagged: %+v", r)
+	}
+	if r := rowFor(t, rows, "Faster"); r.NsPct > -59 || r.AllocPct > -89 {
+		t.Errorf("Faster: deltas %v / %v look wrong", r.NsPct, r.AllocPct)
+	}
+}
+
+func TestDiffReportsCleanRun(t *testing.T) {
+	old := report(bench("A", 100, 10), bench("B", 200, 0))
+	new := report(bench("A", 90, 10), bench("B", 210, 0))
+	rows, regressed := diffReports(old, new, 15)
+	if regressed {
+		t.Fatalf("false regression: %+v", rows)
+	}
+	if r := rowFor(t, rows, "B"); r.AllocPct != 0 {
+		t.Errorf("0 -> 0 allocs should be a 0%% change, got %v", r.AllocPct)
+	}
+}
+
+func TestDiffReportsZeroDenominator(t *testing.T) {
+	// 0 -> 1 allocs is an infinite-percent growth and must regress.
+	old := report(bench("A", 100, 0))
+	new := report(bench("A", 100, 1))
+	rows, regressed := diffReports(old, new, 15)
+	if !regressed {
+		t.Fatal("0 -> 1 allocs must count as a regression")
+	}
+	if r := rowFor(t, rows, "A"); !math.IsInf(r.AllocPct, 1) || !r.AllocRegressed {
+		t.Errorf("row: %+v", r)
+	}
+}
+
+func TestDiffReportsProcsAreDistinct(t *testing.T) {
+	a := bench("A", 100, 10)
+	b := a
+	b.Procs = 16
+	b.NsPerOp = 500 // different procs, not comparable to a
+	rows, regressed := diffReports(report(a), report(b), 15)
+	if regressed {
+		t.Fatalf("procs mismatch compared as same benchmark: %+v", rows)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want added+removed rows, got %+v", rows)
+	}
+}
+
+// TestRunDiffEndToEnd exercises the file-based entry point, including
+// the human-readable table and the schema check.
+func TestRunDiffEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep *Report) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", report(bench("Sim", 100, 1000)))
+	newPath := write("new.json", report(bench("Sim", 300, 1000)))
+
+	var sb strings.Builder
+	regressed, err := runDiff(oldPath, newPath, 15, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("3x slowdown not flagged")
+	}
+	out := sb.String()
+	for _, want := range []string{"pkg.Sim", "+200.0%", "REGRESSED", "threshold"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+
+	badPath := write("bad.json", &Report{Schema: "other/9"})
+	if _, err := runDiff(oldPath, badPath, 15, &sb); err == nil {
+		t.Fatal("schema mismatch not rejected")
+	}
+	if _, err := runDiff(filepath.Join(dir, "missing.json"), newPath, 15, &sb); err == nil {
+		t.Fatal("missing file not rejected")
+	}
+}

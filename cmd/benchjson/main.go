@@ -5,6 +5,12 @@
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchmem ./... | benchjson -out BENCH.json
+//
+// Diff mode compares two committed reports and exits non-zero when any
+// benchmark's ns/op or allocs/op regressed past the threshold (see
+// `make bench-diff`):
+//
+//	benchjson -diff [-threshold 15] OLD.json NEW.json
 package main
 
 import (
@@ -47,10 +53,26 @@ type Report struct {
 
 func main() {
 	var (
-		in  = flag.String("in", "", "read `go test -bench` output from this file (default stdin)")
-		out = flag.String("out", "", "write the JSON report to this file (default stdout)")
+		in        = flag.String("in", "", "read `go test -bench` output from this file (default stdin)")
+		out       = flag.String("out", "", "write the JSON report to this file (default stdout)")
+		diff      = flag.Bool("diff", false, "compare two JSON reports: benchjson -diff OLD.json NEW.json")
+		threshold = flag.Float64("threshold", 15, "percent growth in ns/op or allocs/op that counts as a regression (with -diff)")
 	)
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fail(fmt.Errorf("-diff needs exactly two arguments: OLD.json NEW.json"))
+		}
+		regressed, err := runDiff(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout)
+		if err != nil {
+			fail(err)
+		}
+		if regressed {
+			fail(fmt.Errorf("benchmarks regressed more than %.0f%%", *threshold))
+		}
+		return
+	}
 
 	r := io.Reader(os.Stdin)
 	if *in != "" {

@@ -66,11 +66,11 @@ func New(kind Kind, p int, seed int64) (Arbiter, error) {
 	}
 	switch kind {
 	case FIFO:
-		return newFIFO(), nil
+		return newFIFO(p), nil
 	case Priority:
 		return newPriority(p), nil
 	case Random:
-		return newRandom(rand.NewSource(seed)), nil
+		return newRandom(rand.NewSource(seed), p), nil
 	default:
 		return nil, fmt.Errorf("arbiter: unknown policy kind %q", kind)
 	}

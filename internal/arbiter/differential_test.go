@@ -8,8 +8,8 @@ import (
 	"hbmsim/internal/model"
 )
 
-// naivePriority is a linear-scan reference for the heap-based Priority
-// arbiter: pop the request with the smallest (rank, seq).
+// naivePriority is a linear-scan reference for the Priority arbiter:
+// pop the request with the smallest (rank, seq).
 type naivePriority struct {
 	pri  []int32
 	reqs []model.Request
@@ -73,8 +73,17 @@ func TestPriorityHeapMatchesNaive(t *testing.T) {
 					}
 					queued[hr.Core] = false
 				}
-			case 2: // re-permute priorities
-				rng.Shuffle(p, func(i, j int) { pri[i], pri[j] = pri[j], pri[i] })
+			case 2: // re-rank priorities
+				if rng.Intn(4) == 0 {
+					// Degenerate non-permutation ranking with duplicate
+					// ranks: exercises the arbiter's spill path, where
+					// rank ties must still break by seq.
+					for i := range pri {
+						pri[i] = int32(rng.Intn(p))
+					}
+				} else {
+					rng.Shuffle(p, func(i, j int) { pri[i], pri[j] = pri[j], pri[i] })
+				}
 				heap.UpdatePriorities(pri)
 				copy(naive.pri, pri)
 			}

@@ -15,8 +15,10 @@ type randomArbiter struct {
 	rng  *rand.Rand
 }
 
-func newRandom(src rand.Source) *randomArbiter {
-	return &randomArbiter{rng: rand.New(src)}
+// newRandom pre-sizes the queue for p cores (at most one outstanding
+// request each), so steady-state Push never reallocates.
+func newRandom(src rand.Source, p int) *randomArbiter {
+	return &randomArbiter{reqs: make([]model.Request, 0, p), rng: rand.New(src)}
 }
 
 func (a *randomArbiter) Kind() Kind { return Random }

@@ -30,7 +30,7 @@ func genWorkload(rng *rand.Rand) [][]model.PageID {
 // genConfig derives a random valid configuration from fuzz input.
 func genConfig(rng *rand.Rand) Config {
 	arbs := arbiter.Kinds()
-	repls := replacement.Kinds()
+	repls := append(replacement.Kinds(), replacement.Belady)
 	perms := arbiter.PermuterKinds()
 	q := 1 + rng.Intn(3)
 	k := q + rng.Intn(12)

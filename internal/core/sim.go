@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"slices"
 
 	"hbmsim/internal/arbiter"
 	"hbmsim/internal/hbm"
@@ -64,6 +63,11 @@ type Sim struct {
 	// priOld is scratch for OnRemap's before-image; allocated lazily.
 	priOld []int32
 
+	// origOf translates the dense internal page IDs back to the caller's
+	// original PageIDs at the Observer boundary (origOf[dense] = original).
+	// nil when the workload was already dense, so no translation is needed.
+	origOf []model.PageID
+
 	// metrics
 	makespan  model.Tick
 	fetches   uint64
@@ -84,27 +88,66 @@ type arrival struct {
 // traces[i] is core i's sequence; the model requires the sequences to
 // reference mutually disjoint page sets (use trace.Workload to build
 // compliant inputs — disjointness is not re-verified here).
+//
+// New first compacts the workload's page IDs into the dense space
+// [0, U) (see compactTraces), so the store and replacement policy index
+// flat slices instead of hashing sparse 64-bit IDs on every tick.
+// Observers always see the original PageIDs: dense IDs are translated
+// back at the event boundary, and Results carry no page IDs at all.
 func New(cfg Config, traces [][]model.PageID) (*Sim, error) {
+	return newSim(cfg, traces, true)
+}
+
+// newUncompacted builds the simulator over the retained map-based
+// reference stores and the original sparse page IDs. It exists for the
+// differential tests that pin the dense fast path to the map-based
+// stores; production callers use New.
+func newUncompacted(cfg Config, traces [][]model.PageID) (*Sim, error) {
+	return newSim(cfg, traces, false)
+}
+
+func newSim(cfg Config, traces [][]model.PageID, compact bool) (*Sim, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(len(traces)); err != nil {
 		return nil, err
 	}
+	var origOf []model.PageID
+	universe := 0
+	if compact {
+		traces, origOf, universe = compactTraces(traces)
+	}
 	var store hbm.Store
 	if cfg.Mapping == MappingDirect {
-		dm, err := hbm.NewDirectMapped(cfg.HBMSlots, cfg.Seed+4)
-		if err != nil {
-			return nil, err
+		if compact {
+			dm, err := hbm.NewDenseDirectMapped(cfg.HBMSlots, cfg.Seed+4, universe, origOf)
+			if err != nil {
+				return nil, err
+			}
+			store = dm
+		} else {
+			dm, err := hbm.NewDirectMapped(cfg.HBMSlots, cfg.Seed+4)
+			if err != nil {
+				return nil, err
+			}
+			store = dm
 		}
-		store = dm
 	} else {
 		var pol replacement.Policy
 		if cfg.Replacement == replacement.Belady {
 			// The clairvoyant offline baseline needs the workload's
 			// future; wire the traces through here.
-			pol = replacement.NewBelady(traces)
+			if compact {
+				pol = replacement.NewBeladyDense(traces, universe)
+			} else {
+				pol = replacement.NewBelady(traces)
+			}
 		} else {
 			var err error
-			pol, err = replacement.New(cfg.Replacement, cfg.Seed+1)
+			if compact {
+				pol, err = replacement.NewDense(cfg.Replacement, universe, cfg.Seed+1)
+			} else {
+				pol, err = replacement.New(cfg.Replacement, cfg.Seed+1)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -124,13 +167,23 @@ func New(cfg Config, traces [][]model.PageID) (*Sim, error) {
 		return nil, err
 	}
 
+	// Every per-tick slice is preallocated to its bound here — at most
+	// one entry per core in the active/candidate sets and at most
+	// Channels*FetchLatency grants in flight — so the steady-state tick
+	// loop performs no allocations.
+	p := len(traces)
 	s := &Sim{
-		cfg:   cfg,
-		store: store,
-		arb:   arb,
-		perm:  perm,
-		cores: make([]coreState, len(traces)),
-		pri:   make([]int32, len(traces)),
+		cfg:        cfg,
+		store:      store,
+		arb:        arb,
+		perm:       perm,
+		cores:      make([]coreState, p),
+		pri:        make([]int32, p),
+		origOf:     origOf,
+		active:     make([]model.CoreID, 0, p),
+		nextActive: make([]model.CoreID, 0, p),
+		candidates: make([]model.CoreID, 0, p),
+		inflight:   make([]arrival, 0, cfg.Channels*cfg.FetchLatency),
 	}
 	if cfg.CollectHistogram {
 		s.hist = &stats.Histogram{}
@@ -198,8 +251,9 @@ func (s *Sim) Step() bool {
 	// Step 2: queue non-resident requests; collect resident candidates.
 	// Cores are processed in index order, exactly as the reference loop
 	// iterates "for each r*_i": the order fixes FIFO tie-breaking among
-	// same-tick arrivals and the LRU recency of same-tick touches.
-	slices.Sort(s.active)
+	// same-tick arrivals and the LRU recency of same-tick touches. The
+	// active set is kept sorted across ticks (see the merge at the end of
+	// Step), so no per-tick sort is needed here.
 	s.candidates = s.candidates[:0]
 	for _, ci := range s.active {
 		c := &s.cores[ci]
@@ -211,7 +265,7 @@ func (s *Sim) Step() bool {
 			s.arb.Push(model.Request{Core: ci, Page: page, Issued: c.reqTick, Seq: s.seq})
 			c.queued = true
 			if s.obs != nil {
-				s.obs.OnQueue(ci, page, t)
+				s.obs.OnQueue(ci, s.orig(page), t)
 			}
 		}
 	}
@@ -236,29 +290,42 @@ func (s *Sim) Step() bool {
 			need++
 		}
 	}
+	evictedAny := false
 	if evicted := s.store.EnsureRoom(need); len(evicted) > 0 {
+		evictedAny = true
 		s.evictions += uint64(len(evicted))
 		if s.obs != nil {
 			for _, pg := range evicted {
-				s.obs.OnEvict(pg, t)
+				s.obs.OnEvict(s.orig(pg), t)
 			}
 		}
 	}
 
-	// Step 4: serve every candidate whose page survived step 3.
+	// Step 4: serve every candidate whose page survived step 3. Pages
+	// only leave the store through EnsureRoom between steps 2 and 4
+	// (direct-mapped displacement happens at step-5 inserts), so when
+	// step 3 evicted nothing every candidate is still resident and the
+	// per-candidate re-check is skipped.
 	s.nextActive = s.nextActive[:0]
-	for _, ci := range s.candidates {
-		c := &s.cores[ci]
-		page := c.cur()
-		if !s.store.Contains(page) {
-			// Evicted between steps 2 and 4; the core re-requests on the
-			// next tick (as in the reference loop, where step 2 of the
-			// next tick re-queues it). Response time keeps accruing.
-			s.nextActive = append(s.nextActive, ci)
-			continue
+	if evictedAny {
+		for _, ci := range s.candidates {
+			c := &s.cores[ci]
+			page := c.cur()
+			if !s.store.Contains(page) {
+				// Evicted between steps 2 and 4; the core re-requests on
+				// the next tick (as in the reference loop, where step 2 of
+				// the next tick re-queues it). Response time keeps accruing.
+				s.nextActive = append(s.nextActive, ci)
+				continue
+			}
+			s.store.Touch(page)
+			s.serve(ci, t)
 		}
-		s.store.Touch(page)
-		s.serve(ci, t)
+	} else {
+		for _, ci := range s.candidates {
+			s.store.Touch(s.cores[ci].cur())
+			s.serve(ci, t)
+		}
 	}
 
 	// Step 5: grant up to q queued requests a far channel, then land every
@@ -272,7 +339,7 @@ func (s *Sim) Step() bool {
 		}
 		granted++
 		if s.obs != nil {
-			s.obs.OnGrant(r.Core, r.Page, t, t-r.Issued)
+			s.obs.OnGrant(r.Core, s.orig(r.Page), t, t-r.Issued)
 		}
 		s.inflight = append(s.inflight, arrival{
 			core: r.Core,
@@ -280,6 +347,7 @@ func (s *Sim) Step() bool {
 			land: t + model.Tick(s.cfg.FetchLatency) - 1,
 		})
 	}
+	landStart := len(s.nextActive)
 	landed := 0
 	for _, a := range s.inflight {
 		if a.land > t {
@@ -293,27 +361,71 @@ func (s *Sim) Step() bool {
 		} else if displaced {
 			s.evictions++
 			if s.obs != nil {
-				s.obs.OnEvict(victim, t)
+				s.obs.OnEvict(s.orig(victim), t)
 			}
 		}
 		s.fetches++
 		if s.obs != nil {
-			s.obs.OnFetch(a.core, a.page, t)
+			s.obs.OnFetch(a.core, s.orig(a.page), t)
 		}
 		c := &s.cores[a.core]
 		c.queued = false
 		s.nextActive = append(s.nextActive, a.core)
 	}
 	if landed > 0 {
-		s.inflight = s.inflight[landed:]
+		// Compact the in-flight queue in place: the remainder is at most
+		// Channels*FetchLatency entries, so this stays within the buffer
+		// preallocated by New (re-slicing from the front would instead
+		// bleed capacity and force reallocation).
+		n := copy(s.inflight, s.inflight[landed:])
+		s.inflight = s.inflight[:n]
 	}
 
 	s.queueLen.Add(float64(s.arb.Len()))
 	if s.obs != nil {
 		s.obs.OnTickEnd(t, s.arb.Len(), granted)
 	}
-	s.active, s.nextActive = s.nextActive, s.active
+
+	// Rebuild the next tick's active set in ascending core order without
+	// a full sort: s.nextActive[:landStart] (step-4 requeues and serves)
+	// was appended in ascending order, and the landed tail is small (at
+	// most the due arrivals), so insertion-sort the tail and merge the
+	// two runs into the retired active buffer.
+	a, tail := s.nextActive[:landStart], s.nextActive[landStart:]
+	for i := 1; i < len(tail); i++ {
+		v := tail[i]
+		j := i - 1
+		for j >= 0 && tail[j] > v {
+			tail[j+1] = tail[j]
+			j--
+		}
+		tail[j+1] = v
+	}
+	dst := s.active[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(tail) {
+		if a[i] <= tail[j] {
+			dst = append(dst, a[i])
+			i++
+		} else {
+			dst = append(dst, tail[j])
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, tail[j:]...)
+	s.active = dst
 	return !s.Done()
+}
+
+// orig translates a dense internal page ID back to the caller's original
+// PageID at the Observer boundary; the identity when no compaction was
+// needed (or the simulator runs uncompacted for differential testing).
+func (s *Sim) orig(p model.PageID) model.PageID {
+	if s.origOf == nil {
+		return p
+	}
+	return s.origOf[p]
 }
 
 // serve records the serve of core ci's current reference at tick t and
@@ -323,7 +435,7 @@ func (s *Sim) serve(ci model.CoreID, t model.Tick) {
 	w := float64(t-c.reqTick) + 1
 	c.resp.record(w)
 	if s.obs != nil {
-		s.obs.OnServe(ci, c.cur(), t, t-c.reqTick+1)
+		s.obs.OnServe(ci, s.orig(c.cur()), t, t-c.reqTick+1)
 	}
 	if gap := t - c.lastServe; gap > c.maxGap {
 		c.maxGap = gap

@@ -256,3 +256,53 @@ func TestTransformFIFOOrder(t *testing.T) {
 		t.Fatal("page 1 should have been evicted")
 	}
 }
+
+// TestAssocDenseMatchesSparse drives the dense fully-associative cache
+// over a compacted trace and the map-based one over the original sparse
+// trace; the per-access hit/miss sequences must be identical, because
+// replacement decisions depend only on page identity and Compact is a
+// bijection.
+func TestAssocDenseMatchesSparse(t *testing.T) {
+	for _, kind := range []replacement.Kind{replacement.LRU, replacement.FIFO, replacement.Clock} {
+		rng := rand.New(rand.NewSource(21))
+		tr := make([]model.PageID, 4000)
+		for i := range tr {
+			tr[i] = model.PageID(rng.Intn(64)*977 + 1<<33) // sparse IDs
+		}
+		dense, universe := Compact(tr)
+		if universe != 64 {
+			t.Fatalf("Compact universe = %d, want 64", universe)
+		}
+		sparse, err := NewAssoc(16, kind, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dn, err := NewAssocDense(16, kind, 7, universe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range tr {
+			if sparse.Access(p) != dn.Access(dense[i]) {
+				t.Fatalf("%s: access %d: hit/miss diverges", kind, i)
+			}
+		}
+		if sparse.Hits() != dn.Hits() || sparse.Misses() != dn.Misses() {
+			t.Fatalf("%s: totals diverge: (%d,%d) vs (%d,%d)",
+				kind, sparse.Hits(), sparse.Misses(), dn.Hits(), dn.Misses())
+		}
+	}
+}
+
+// TestCompactFirstAppearance pins Compact's numbering order.
+func TestCompactFirstAppearance(t *testing.T) {
+	dense, u := Compact([]model.PageID{500, 9, 500, 1 << 40, 9})
+	want := []model.PageID{0, 1, 0, 2, 1}
+	if u != 3 {
+		t.Fatalf("universe = %d, want 3", u)
+	}
+	for i := range want {
+		if dense[i] != want[i] {
+			t.Fatalf("dense = %v, want %v", dense, want)
+		}
+	}
+}

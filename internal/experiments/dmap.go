@@ -23,22 +23,23 @@ func ablDirectMapped(o Options) (*Outcome, error) {
 		return nil, err
 	}
 	// Size the cache to half the trace's unique pages so misses occur.
-	uniq := map[uint64]struct{}{}
-	for _, p := range tr {
-		uniq[uint64(p)] = struct{}{}
-	}
-	k := len(uniq) / 2
+	// The associative reference runs on a densely renumbered copy of the
+	// trace (bit-identical misses, no map ops on its Access path); the
+	// naive direct-mapped cache and the transform keep the original IDs,
+	// whose values their hashes depend on.
+	denseTr, uniq := directmap.Compact(tr)
+	k := uniq / 2
 	if k < 4 {
 		k = 4
 	}
 
 	tbl := report.NewTable(
-		fmt.Sprintf("Direct-mapped simulation of a fully-associative HBM (k=%d, %d refs, %d unique pages)", k, len(tr), len(uniq)),
+		fmt.Sprintf("Direct-mapped simulation of a fully-associative HBM (k=%d, %d refs, %d unique pages)", k, len(tr), uniq),
 		"policy", "assoc misses", "naive DM misses", "transform misses (orig)", "induced accesses/op", "induced misses/orig miss", "avg chain", "max chain")
 
 	var worstAccessesPerOp, worstMissRatio float64
 	for _, kind := range []replacement.Kind{replacement.LRU, replacement.FIFO} {
-		assoc, err := directmap.NewAssoc(k, kind, o.Seed+1)
+		assoc, err := directmap.NewAssocDense(k, kind, o.Seed+1, uniq)
 		if err != nil {
 			return nil, err
 		}
@@ -50,8 +51,8 @@ func ablDirectMapped(o Options) (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, p := range tr {
-			assoc.Access(p)
+		for i, p := range tr {
+			assoc.Access(denseTr[i])
 			naive.Access(p)
 			xform.Access(p)
 		}

@@ -37,6 +37,12 @@ type Store interface {
 	// max(0, n - free) victims by the replacement policy (the model's
 	// step 3); direct-mapped stores evict at insert time instead and
 	// always return nil here.
+	//
+	// Aliasing contract: the returned slice may alias an internal
+	// scratch buffer that the next EnsureRoom call on the same store
+	// overwrites. Callers must consume it (or copy it) before calling
+	// EnsureRoom again and must not retain it;
+	// TestEnsureRoomScratchAliasing pins this behaviour.
 	EnsureRoom(n int) []model.PageID
 	// Insert makes a fetched page resident. displaced reports a page that
 	// the insert evicted (direct-mapped slot conflicts); associative
@@ -84,7 +90,9 @@ func (s *Assoc) Contains(page model.PageID) bool { return s.policy.Contains(page
 func (s *Assoc) Touch(page model.PageID) { s.policy.Touch(page) }
 
 // EnsureRoom evicts max(0, n - free) victims chosen by the replacement
-// policy and returns them.
+// policy and returns them. The returned slice aliases the store's
+// scratch buffer and is invalidated (overwritten) by the next
+// EnsureRoom call — copy it if it must outlive that.
 func (s *Assoc) EnsureRoom(n int) []model.PageID {
 	s.scratch = s.scratch[:0]
 	for need := n - s.Free(); need > 0; need-- {
