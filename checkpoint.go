@@ -1,0 +1,37 @@
+package hbmsim
+
+import (
+	"io"
+
+	"hbmsim/internal/core"
+)
+
+// Checkpoint & resume: a stepwise Sim can be snapshotted between Steps
+// with Sim.Checkpoint and reconstructed later — in another process —
+// with ResumeSim; the resumed run's Result and Observer event stream are
+// bit-identical to an uninterrupted run. See DESIGN.md's "Checkpoint &
+// resume" section for the on-disk format.
+
+// ErrSnapshotMismatch reports a structurally valid snapshot taken under
+// a different Config or workload than the one ResumeSim was given.
+var ErrSnapshotMismatch = core.ErrSnapshotMismatch
+
+// SnapshotFormatVersion is the checkpoint format version this build
+// writes and reads.
+const SnapshotFormatVersion = core.FormatVersion
+
+// ResumeSim reconstructs a simulator from a snapshot written by
+// Sim.Checkpoint. cfg and wl must be exactly the configuration and
+// workload of the checkpointed run (ErrSnapshotMismatch otherwise);
+// observers are not part of the snapshot, so re-attach them before
+// stepping.
+func ResumeSim(r io.Reader, cfg Config, wl *Workload) (*Sim, error) {
+	return core.Resume(r, cfg, wl.Raw())
+}
+
+// ConfigFingerprint hashes a Config (after applying defaults); together
+// with WorkloadFingerprint it keys snapshots and sweep-journal rows.
+func ConfigFingerprint(cfg Config) uint64 { return core.ConfigHash(cfg) }
+
+// WorkloadFingerprint hashes a workload's traces.
+func WorkloadFingerprint(wl *Workload) uint64 { return core.WorkloadHash(wl.Raw()) }

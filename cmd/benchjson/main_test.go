@@ -102,3 +102,26 @@ func TestParseBenchLineNoProcs(t *testing.T) {
 		t.Fatalf("parsed %+v", b)
 	}
 }
+
+func TestParseCountKeepsMin(t *testing.T) {
+	const repeated = `pkg: hbmsim/internal/core
+BenchmarkSimRun-8   	     100	  300 ns/op	      5 allocs/op
+BenchmarkSimRun-8   	     100	  200 ns/op	      5 allocs/op
+BenchmarkSimRun-8   	     100	  250 ns/op	      5 allocs/op
+BenchmarkOther-8    	     100	  900 ns/op	      1 allocs/op
+`
+	rep, err := parse(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("want 2 deduped benchmarks, got %d: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	// Sorted by name: Other first, then SimRun at its fastest run.
+	if rep.Benchmarks[0].Name != "BenchmarkOther" || rep.Benchmarks[0].NsPerOp != 900 {
+		t.Errorf("Other = %+v", rep.Benchmarks[0])
+	}
+	if rep.Benchmarks[1].Name != "BenchmarkSimRun" || rep.Benchmarks[1].NsPerOp != 200 {
+		t.Errorf("SimRun should keep the 200 ns/op run, got %+v", rep.Benchmarks[1])
+	}
+}

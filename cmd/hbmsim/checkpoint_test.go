@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hbmsim"
+)
+
+// TestRunObservedCheckpointResume drives the CLI's checkpoint plumbing
+// end to end: a run with periodic snapshots leaves a resumable file (and
+// no torn temp file), and resuming from it reproduces the run's result.
+func TestRunObservedCheckpointResume(t *testing.T) {
+	wl := hbmsim.NewWorkload("w", []hbmsim.Trace{{0, 1, 0, 2, 1}, {5, 6, 5}})
+	cfg := hbmsim.Config{HBMSlots: 2, Channels: 1, Seed: 3}
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "run.snap")
+
+	res, _, err := runObserved(cfg, wl, telemetryOptions{
+		checkpointEvery: 2,
+		checkpointPath:  snap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("no snapshot written: %v", err)
+	}
+	if _, err := os.Stat(snap + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp snapshot left behind: %v", err)
+	}
+
+	resumed, _, err := runObserved(cfg, wl, telemetryOptions{resumePath: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed, res) {
+		t.Fatalf("resumed result differs:\n got %+v\nwant %+v", resumed, res)
+	}
+
+	// A mismatched config must be refused, not silently resumed.
+	other := cfg
+	other.Seed++
+	if _, _, err := runObserved(other, wl, telemetryOptions{resumePath: snap}); err == nil {
+		t.Fatal("resume under a different config should fail")
+	}
+}

@@ -25,7 +25,9 @@ func TestRunObservedEventLog(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	rows, err := csv.NewReader(f).ReadAll()
+	r := csv.NewReader(f)
+	r.Comment = '#' // the named event log leads with a "# workload:" row
+	rows, err := r.ReadAll()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -49,8 +49,18 @@ func main() {
 		watchGap  = flag.Uint64("watchdog", 0, "flag starvation episodes with serve gaps above this many ticks")
 		httpAddr  = flag.String("http", "", "serve /metrics, /progress, /debug/vars, /debug/pprof on this address while the run executes (empty = no listener)")
 		logLevel  = flag.String("log-level", "info", "structured-log level: debug|info|warn|error")
+		ckptEvery = flag.Uint64("checkpoint-every", 0, "write a resumable snapshot every N ticks (0 = never); requires -checkpoint-file")
+		ckptFile  = flag.String("checkpoint-file", "", "snapshot path for -checkpoint-every (written atomically)")
+		resume    = flag.String("resume", "", "resume from a snapshot written by -checkpoint-every; the workload and config flags must match the checkpointed run")
 	)
 	flag.Parse()
+
+	if *ckptEvery > 0 && *ckptFile == "" {
+		fail(errors.New("-checkpoint-every requires -checkpoint-file"))
+	}
+	if *ckptEvery == 0 && *ckptFile != "" {
+		fail(errors.New("-checkpoint-file requires -checkpoint-every"))
+	}
 
 	if _, err := introspect.SetupLogging(os.Stderr, *logLevel); err != nil {
 		fail(err)
@@ -86,12 +96,15 @@ func main() {
 	}
 
 	tele := telemetryOptions{
-		eventsPath:   *eventsCSV,
-		timelinePath: *timeline,
-		window:       hbmsim.Tick(*window),
-		perfettoPath: *perfetto,
-		heatTop:      *heatTop,
-		watchGap:     hbmsim.Tick(*watchGap),
+		eventsPath:      *eventsCSV,
+		timelinePath:    *timeline,
+		window:          hbmsim.Tick(*window),
+		perfettoPath:    *perfetto,
+		heatTop:         *heatTop,
+		watchGap:        hbmsim.Tick(*watchGap),
+		checkpointEvery: hbmsim.Tick(*ckptEvery),
+		checkpointPath:  *ckptFile,
+		resumePath:      *resume,
 	}
 	// Opt-in live introspection: with -http unset no listener is opened and
 	// no observer is attached, leaving the run byte-identical to the plain

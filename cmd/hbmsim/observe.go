@@ -12,7 +12,8 @@ import (
 	"hbmsim/internal/report"
 )
 
-// telemetryOptions collects the CLI's observability flags.
+// telemetryOptions collects the CLI's observability and checkpointing
+// flags.
 type telemetryOptions struct {
 	eventsPath   string
 	timelinePath string
@@ -20,6 +21,13 @@ type telemetryOptions struct {
 	perfettoPath string
 	heatTop      int
 	watchGap     hbmsim.Tick
+
+	// checkpointEvery/checkpointPath enable periodic snapshots from the
+	// tick loop (plus one final snapshot at completion); resumePath
+	// restores the run from an earlier snapshot before the first Step.
+	checkpointEvery hbmsim.Tick
+	checkpointPath  string
+	resumePath      string
 
 	// metrics/progress carry the -http live-introspection state; totalRefs
 	// sizes the /progress completion fraction.
@@ -30,7 +38,8 @@ type telemetryOptions struct {
 
 func (t telemetryOptions) enabled() bool {
 	return t.eventsPath != "" || t.timelinePath != "" || t.perfettoPath != "" ||
-		t.heatTop > 0 || t.watchGap > 0 || t.metrics != nil
+		t.heatTop > 0 || t.watchGap > 0 || t.metrics != nil ||
+		t.checkpointEvery > 0 || t.resumePath != ""
 }
 
 // progressObserver refreshes the /progress view from the Meter's counters
@@ -77,7 +86,7 @@ type collectors struct {
 // runObserved drives a stepwise simulation with the requested telemetry
 // observers attached and finalises their outputs.
 func runObserved(cfg hbmsim.Config, wl *hbmsim.Workload, opts telemetryOptions) (*hbmsim.Result, *collectors, error) {
-	sim, err := hbmsim.NewSim(cfg, wl)
+	sim, err := buildSim(cfg, wl, opts.resumePath)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -98,7 +107,7 @@ func runObserved(cfg hbmsim.Config, wl *hbmsim.Workload, opts telemetryOptions) 
 			return nil, nil, err
 		}
 		files = append(files, f)
-		events = hbmsim.NewEventLog(f)
+		events = hbmsim.NewEventLogNamed(f, wl.Name)
 		multi.Attach(events)
 	}
 	var perfetto *hbmsim.PerfettoExporter
@@ -109,7 +118,7 @@ func runObserved(cfg hbmsim.Config, wl *hbmsim.Workload, opts telemetryOptions) 
 			return nil, nil, err
 		}
 		files = append(files, f)
-		perfetto = hbmsim.NewPerfetto(f, wl.Cores(), cfg.Channels)
+		perfetto = hbmsim.NewPerfettoNamed(f, wl.Name, wl.Cores(), cfg.Channels)
 		if cfg.FetchLatency > 1 {
 			perfetto.SetFetchLatency(hbmsim.Tick(cfg.FetchLatency))
 		}
@@ -145,6 +154,20 @@ func runObserved(cfg hbmsim.Config, wl *hbmsim.Workload, opts telemetryOptions) 
 
 	sim.SetObserver(multi)
 	for sim.Step() {
+		if opts.checkpointEvery > 0 && sim.Tick()%opts.checkpointEvery == 0 {
+			if err := writeCheckpoint(sim, opts.checkpointPath); err != nil {
+				closeAll()
+				return nil, nil, err
+			}
+		}
+	}
+	if opts.checkpointEvery > 0 {
+		// One final snapshot so a resume of a finished run reproduces its
+		// result without re-simulating.
+		if err := writeCheckpoint(sim, opts.checkpointPath); err != nil {
+			closeAll()
+			return nil, nil, err
+		}
 	}
 	res := sim.Result()
 	if prog != nil {
@@ -184,6 +207,51 @@ func runObserved(cfg hbmsim.Config, wl *hbmsim.Workload, opts telemetryOptions) 
 		return res, col, &hbmsim.TruncatedError{Ticks: res.Makespan, Unfinished: unfinished(res)}
 	}
 	return res, col, nil
+}
+
+// buildSim constructs the stepwise simulator, resuming from a snapshot
+// when one was given.
+func buildSim(cfg hbmsim.Config, wl *hbmsim.Workload, resumePath string) (*hbmsim.Sim, error) {
+	if resumePath == "" {
+		return hbmsim.NewSim(cfg, wl)
+	}
+	f, err := os.Open(resumePath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sim, err := hbmsim.ResumeSim(f, cfg, wl)
+	if err != nil {
+		return nil, fmt.Errorf("resuming %s: %w", resumePath, err)
+	}
+	return sim, nil
+}
+
+// writeCheckpoint snapshots the simulator atomically: the state is
+// written to a temp file, synced, and renamed over the target, so a
+// crash mid-write can never leave a torn snapshot at the checkpoint
+// path.
+func writeCheckpoint(sim *hbmsim.Sim, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := sim.Checkpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // unfinished counts cores that never completed (completion tick 0 with

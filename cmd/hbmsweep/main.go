@@ -42,8 +42,15 @@ func main() {
 		slots    = flag.String("k", "", "override the HBM-size axis, e.g. 1000,3000,5000")
 		httpAddr = flag.String("http", "", "serve /metrics, /progress, /debug/vars, /debug/pprof on this address (e.g. :8080; empty = no listener)")
 		logLevel = flag.String("log-level", "info", "structured-log level: debug|info|warn|error")
+		journal  = flag.String("journal", "", "append each completed sweep row to this crash-tolerant journal file")
+		resume   = flag.Bool("resume", false, "skip jobs already recorded in -journal (requires -journal)")
 	)
 	flag.Parse()
+
+	if *resume && *journal == "" {
+		fmt.Fprintln(os.Stderr, "hbmsweep: -resume requires -journal")
+		os.Exit(2)
+	}
 
 	if _, err := introspect.SetupLogging(os.Stderr, *logLevel); err != nil {
 		fmt.Fprintf(os.Stderr, "hbmsweep: %v\n", err)
@@ -102,6 +109,23 @@ func main() {
 		defer intro.srv.Close()
 		o.Metrics = intro.reg
 		o.OnProgress = intro.onProgress
+	}
+
+	// Opt-in crash tolerance: every completed row lands in the journal as
+	// soon as it finishes, and -resume replays journaled rows instead of
+	// re-running their jobs.
+	if *journal != "" {
+		j, err := sweep.OpenJournal(*journal)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbmsweep: %v\n", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		o.Journal = j
+		o.Resume = *resume
+		if *resume && j.Len() > 0 {
+			slog.Info("resuming from journal", "path", *journal, "rows", j.Len())
+		}
 	}
 
 	var csv *os.File

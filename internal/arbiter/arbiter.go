@@ -18,7 +18,6 @@ package arbiter
 
 import (
 	"fmt"
-	"math/rand"
 
 	"hbmsim/internal/model"
 )
@@ -70,7 +69,7 @@ func New(kind Kind, p int, seed int64) (Arbiter, error) {
 	case Priority:
 		return newPriority(p), nil
 	case Random:
-		return newRandom(rand.NewSource(seed), p), nil
+		return newRandom(seed, p), nil
 	default:
 		return nil, fmt.Errorf("arbiter: unknown policy kind %q", kind)
 	}

@@ -3,6 +3,8 @@ package arbiter
 import (
 	"fmt"
 	"math/rand"
+
+	"hbmsim/internal/detrand"
 )
 
 // PermuterKind names a priority-permutation scheme (Definition 1 in the
@@ -43,7 +45,8 @@ func NewPermuter(kind PermuterKind, seed int64) (Permuter, error) {
 	case Static:
 		return staticPermuter{}, nil
 	case Dynamic:
-		return &dynamicPermuter{rng: rand.New(rand.NewSource(seed))}, nil
+		src := detrand.NewSource(seed)
+		return &dynamicPermuter{src: src, rng: rand.New(src)}, nil
 	case Cycle:
 		return cyclePermuter{step: 1}, nil
 	case CycleReverse:
@@ -69,7 +72,10 @@ type staticPermuter struct{}
 func (staticPermuter) Kind() PermuterKind { return Static }
 func (staticPermuter) Permute([]int32)    {}
 
+// dynamicPermuter draws from a counting detrand.Source so checkpoints
+// can record the permutation stream's position.
 type dynamicPermuter struct {
+	src *detrand.Source
 	rng *rand.Rand
 }
 

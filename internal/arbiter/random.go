@@ -3,6 +3,7 @@ package arbiter
 import (
 	"math/rand"
 
+	"hbmsim/internal/detrand"
 	"hbmsim/internal/model"
 )
 
@@ -10,15 +11,22 @@ import (
 // limiting behaviour of Dynamic Priority as the remap interval T goes to 1:
 // every thread has the same expected wait, like FIFO, but without FIFO's
 // arrival-order head-of-line coupling.
+//
+// The rng runs over a counting detrand.Source so a checkpoint can record
+// the stream position; the wrapper forwards draws one-for-one, keeping
+// pop sequences bit-identical to a bare rand.NewSource.
 type randomArbiter struct {
 	reqs []model.Request
+	p    int
+	src  *detrand.Source
 	rng  *rand.Rand
 }
 
 // newRandom pre-sizes the queue for p cores (at most one outstanding
 // request each), so steady-state Push never reallocates.
-func newRandom(src rand.Source, p int) *randomArbiter {
-	return &randomArbiter{reqs: make([]model.Request, 0, p), rng: rand.New(src)}
+func newRandom(seed int64, p int) *randomArbiter {
+	src := detrand.NewSource(seed)
+	return &randomArbiter{reqs: make([]model.Request, 0, p), p: p, src: src, rng: rand.New(src)}
 }
 
 func (a *randomArbiter) Kind() Kind { return Random }

@@ -1,0 +1,116 @@
+package arbiter
+
+import (
+	"math/bits"
+
+	"hbmsim/internal/model"
+	"hbmsim/internal/snap"
+)
+
+// Checkpoint support: each arbiter serialises its queue as a request
+// count followed by the requests in a canonical order, and restores by
+// replaying Push on an emptied queue. Replay is exact for FIFO (requests
+// are saved in pop order) and state-equivalent for Priority (slot
+// contents are order-independent: place() keeps the lower seq per rank,
+// and spill pops are decided by (rank, seq), never by spill slice
+// order). Random additionally records its rng stream position.
+//
+// Decoded counts are bounded by Reader.MaxCores — the model admits at
+// most one queued request per core — and request fields are validated by
+// the Reader's core/page limits, so corrupt snapshots fail cleanly.
+
+func saveRequest(w *snap.Writer, r model.Request) {
+	w.U64(uint64(r.Core))
+	w.U64(uint64(r.Page))
+	w.U64(uint64(r.Issued))
+	w.U64(r.Seq)
+}
+
+func loadRequest(r *snap.Reader) model.Request {
+	c := r.Core()
+	p := r.Page()
+	issued := r.U64()
+	seq := r.U64()
+	return model.Request{Core: model.CoreID(c), Page: model.PageID(p), Issued: model.Tick(issued), Seq: seq}
+}
+
+// SaveState implements snap.Saver: the ring contents in pop order.
+func (f *fifoArbiter) SaveState(w *snap.Writer) {
+	w.Int(f.n)
+	for i := 0; i < f.n; i++ {
+		saveRequest(w, f.buf[(f.head+i)&f.mask])
+	}
+}
+
+// LoadState implements snap.Loader.
+func (f *fifoArbiter) LoadState(r *snap.Reader) {
+	f.head, f.n = 0, 0
+	n := r.Len(int(r.MaxCores), "fifo queue")
+	for i := 0; i < n; i++ {
+		f.Push(loadRequest(r))
+	}
+}
+
+// SaveState implements snap.Saver: slotted requests in rank order, then
+// the spill.
+func (a *priorityArbiter) SaveState(w *snap.Writer) {
+	w.Int(a.n)
+	for wi, word := range a.words {
+		for word != 0 {
+			rank := wi*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			saveRequest(w, a.byRank[rank])
+		}
+	}
+	for _, r := range a.spill {
+		saveRequest(w, r)
+	}
+}
+
+// LoadState implements snap.Loader. The caller must have restored the
+// priority permutation (UpdatePriorities) first, so place() re-slots
+// each request under its saved rank.
+func (a *priorityArbiter) LoadState(r *snap.Reader) {
+	for i := range a.words {
+		a.words[i] = 0
+	}
+	a.spill = a.spill[:0]
+	a.n = 0
+	n := r.Len(int(r.MaxCores), "priority queue")
+	for i := 0; i < n; i++ {
+		a.Push(loadRequest(r))
+	}
+}
+
+// SaveState implements snap.Saver: the queue in slice order plus the rng
+// position (slice order matters — Pop swap-removes at a random index).
+func (a *randomArbiter) SaveState(w *snap.Writer) {
+	w.Int(len(a.reqs))
+	for _, r := range a.reqs {
+		saveRequest(w, r)
+	}
+	a.src.SaveState(w)
+}
+
+// LoadState implements snap.Loader.
+func (a *randomArbiter) LoadState(r *snap.Reader) {
+	a.reqs = a.reqs[:0]
+	n := r.Len(int(r.MaxCores), "random queue")
+	for i := 0; i < n; i++ {
+		a.reqs = append(a.reqs, loadRequest(r))
+	}
+	a.src.LoadState(r)
+}
+
+// FinishLoad implements snap.Finisher (rng replay after checksum
+// verification).
+func (a *randomArbiter) FinishLoad() error { return a.src.FinishLoad() }
+
+// SaveState implements snap.Saver: the permutation stream position.
+func (d *dynamicPermuter) SaveState(w *snap.Writer) { d.src.SaveState(w) }
+
+// LoadState implements snap.Loader.
+func (d *dynamicPermuter) LoadState(r *snap.Reader) { d.src.LoadState(r) }
+
+// FinishLoad implements snap.Finisher.
+func (d *dynamicPermuter) FinishLoad() error { return d.src.FinishLoad() }

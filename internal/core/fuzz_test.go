@@ -1,0 +1,123 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"hbmsim/internal/arbiter"
+	"hbmsim/internal/model"
+	"hbmsim/internal/replacement"
+)
+
+// fuzzConfig is the fixed configuration the checkpoint fuzzers run under:
+// random arbiter + random replacement + dynamic permuter exercises every
+// stateful component (three rng streams, priority slots, histograms).
+func fuzzConfig() Config {
+	return Config{
+		HBMSlots:         8,
+		Channels:         2,
+		FetchLatency:     3,
+		Arbiter:          arbiter.Random,
+		Replacement:      replacement.Random,
+		Permuter:         arbiter.Dynamic,
+		RemapPeriod:      4,
+		Seed:             99,
+		CollectHistogram: true,
+	}
+}
+
+// fuzzTraces derives a small workload from the fuzz input bytes: two
+// cores, pages in 0..7, a few dozen references.
+func fuzzTraces(data []byte) [][]model.PageID {
+	if len(data) > 64 {
+		data = data[:64]
+	}
+	ts := make([][]model.PageID, 2)
+	for i, b := range data {
+		ts[i%2] = append(ts[i%2], model.PageID(int(b&7)+(i%2)*100))
+	}
+	for c := range ts {
+		if len(ts[c]) == 0 {
+			ts[c] = []model.PageID{model.PageID(c * 100)}
+		}
+	}
+	return ts
+}
+
+// FuzzCheckpointRoundTrip drives a simulation to a fuzz-chosen tick,
+// checkpoints, resumes, and requires the resumed run to finish with a
+// result identical to the uninterrupted one — the differential matrix
+// test's guarantee, under arbitrary workloads and split points.
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 0, 1, 2, 3}, uint8(3))
+	f.Add([]byte{7, 7, 7, 0, 0, 0, 1, 2}, uint8(9))
+	f.Add([]byte{1}, uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, splitAt uint8) {
+		cfg := fuzzConfig()
+		ts := fuzzTraces(data)
+
+		ref, err := New(cfg, ts)
+		if err != nil {
+			t.Skip()
+		}
+		for ref.Step() {
+		}
+		resRef := ref.Result()
+
+		s, err := New(cfg, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint8(0); i < splitAt && s.Step(); i++ {
+		}
+		var buf bytes.Buffer
+		if err := s.Checkpoint(&buf); err != nil {
+			t.Fatalf("Checkpoint: %v", err)
+		}
+		r, err := Resume(&buf, cfg, ts)
+		if err != nil {
+			t.Fatalf("Resume of a just-written checkpoint: %v", err)
+		}
+		for r.Step() {
+		}
+		if !reflect.DeepEqual(r.Result(), resRef) {
+			t.Fatalf("resumed result differs:\n got %+v\nwant %+v", r.Result(), resRef)
+		}
+	})
+}
+
+// FuzzResumeCorrupt feeds arbitrary bytes to Resume: whatever the input
+// — truncated, bit-flipped, or pure noise — it must return an error or a
+// valid simulator, never panic. Seeds include a genuine snapshot so the
+// mutator explores near-valid inputs.
+func FuzzResumeCorrupt(f *testing.F) {
+	cfg := fuzzConfig()
+	ts := fuzzTraces([]byte{0, 1, 2, 3, 4, 5, 6, 7, 2, 4, 6, 1, 3, 5, 7, 0})
+	s, err := New(cfg, ts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		s.Step()
+	}
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:buf.Len()/2])
+	f.Add([]byte("HBMSNAP1 not really"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Resume(bytes.NewReader(data), cfg, ts)
+		if err != nil {
+			return
+		}
+		// The rare mutation that still checks out must yield a simulator
+		// that runs to completion without panicking.
+		for r.Step() {
+		}
+		r.Result()
+	})
+}

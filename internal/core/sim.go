@@ -67,6 +67,10 @@ type Sim struct {
 	// original PageIDs at the Observer boundary (origOf[dense] = original).
 	// nil when the workload was already dense, so no translation is needed.
 	origOf []model.PageID
+	// universe is the dense page-ID universe size U from compaction; -1
+	// for the uncompacted differential-test path (which does not support
+	// checkpointing).
+	universe int
 
 	// metrics
 	makespan  model.Tick
@@ -112,7 +116,7 @@ func newSim(cfg Config, traces [][]model.PageID, compact bool) (*Sim, error) {
 		return nil, err
 	}
 	var origOf []model.PageID
-	universe := 0
+	universe := -1
 	if compact {
 		traces, origOf, universe = compactTraces(traces)
 	}
@@ -180,6 +184,7 @@ func newSim(cfg Config, traces [][]model.PageID, compact bool) (*Sim, error) {
 		cores:      make([]coreState, p),
 		pri:        make([]int32, p),
 		origOf:     origOf,
+		universe:   universe,
 		active:     make([]model.CoreID, 0, p),
 		nextActive: make([]model.CoreID, 0, p),
 		candidates: make([]model.CoreID, 0, p),

@@ -56,6 +56,14 @@ type Options struct {
 	// Metrics, when non-nil, receives live sweep counters and gauges (see
 	// sweep.Options.Metrics).
 	Metrics *metrics.Registry
+	// Journal, when non-nil, appends every completed sweep row to the
+	// crash-tolerant journal (see sweep.Journal); one journal can span all
+	// of an hbmsweep invocation's experiments, because rows are keyed by
+	// job name + config + workload fingerprints.
+	Journal *sweep.Journal
+	// Resume, when set with a Journal, skips jobs the journal already
+	// holds, so a killed run re-executes only unfinished points.
+	Resume bool
 }
 
 // run executes one sweep with the Options' live-introspection surface
@@ -70,7 +78,13 @@ func (o Options) runReplicated(jobs []sweep.Job, replicas int) []sweep.Replicate
 }
 
 func (o Options) sweepOptions() sweep.Options {
-	return sweep.Options{Workers: o.Workers, OnProgress: o.OnProgress, Metrics: o.Metrics}
+	return sweep.Options{
+		Workers:    o.Workers,
+		OnProgress: o.OnProgress,
+		Metrics:    o.Metrics,
+		Journal:    o.Journal,
+		Resume:     o.Resume,
+	}
 }
 
 // Default returns laptop-scale options that preserve the paper's scarcity

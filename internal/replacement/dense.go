@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"hbmsim/internal/detrand"
 	"hbmsim/internal/model"
 )
 
@@ -255,6 +256,7 @@ func (c *denseClock) detach(i int32) {
 type denseRandom struct {
 	pages []model.PageID
 	index []int32 // position in pages, or -1 when absent
+	src   *detrand.Source
 	rng   *rand.Rand
 }
 
@@ -263,9 +265,11 @@ func newDenseRandom(universe int, seed int64) *denseRandom {
 	for i := range idx {
 		idx[i] = -1
 	}
+	src := detrand.NewSource(seed)
 	return &denseRandom{
 		index: idx,
-		rng:   rand.New(rand.NewSource(seed)),
+		src:   src,
+		rng:   rand.New(src),
 	}
 }
 

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hbmsim/internal/snap"
+)
+
+// maxBuckets is the largest bucket count a base-2 log histogram over
+// uint64 can reach: bucketIndex(x) <= 64, so at most 65 buckets exist.
+const maxBuckets = 65
+
+// SaveState implements snap.Saver.
+func (w *Welford) SaveState(sw *snap.Writer) {
+	sw.U64(w.n)
+	sw.F64(w.mean)
+	sw.F64(w.m2)
+	sw.F64(w.min)
+	sw.F64(w.max)
+}
+
+// LoadState implements snap.Loader.
+func (w *Welford) LoadState(r *snap.Reader) {
+	w.n = r.U64()
+	w.mean = r.F64()
+	w.m2 = r.F64()
+	w.min = r.F64()
+	w.max = r.F64()
+}
+
+// SaveState implements snap.Saver.
+func (h *Histogram) SaveState(w *snap.Writer) {
+	w.U64(h.total)
+	w.Int(len(h.buckets))
+	for _, c := range h.buckets {
+		w.U64(c)
+	}
+}
+
+// LoadState implements snap.Loader.
+func (h *Histogram) LoadState(r *snap.Reader) {
+	h.total = r.U64()
+	n := r.Len(maxBuckets, "histogram buckets")
+	h.buckets = h.buckets[:0]
+	for i := 0; i < n; i++ {
+		h.buckets = append(h.buckets, r.U64())
+	}
+}
+
+// histogramJSON is the Histogram wire form for JSON round-trips (sweep
+// journals, hbmsim -json): bucket i covers [2^(i-1), 2^i) for i >= 1.
+type histogramJSON struct {
+	Total   uint64   `json:"total"`
+	Buckets []uint64 `json:"buckets"`
+}
+
+// MarshalJSON implements json.Marshaler; without it the unexported
+// fields would serialise as {} and a journaled Result would silently
+// lose its histogram.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{Total: h.total, Buckets: h.Buckets()})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var v histogramJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	if len(v.Buckets) > maxBuckets {
+		return fmt.Errorf("stats: histogram with %d buckets (max %d)", len(v.Buckets), maxBuckets)
+	}
+	h.total = v.Total
+	h.buckets = v.Buckets
+	return nil
+}

@@ -204,10 +204,19 @@ func (h *Histogram) QuantileUpper(q float64) uint64 {
 			if i == 0 {
 				return 0
 			}
+			if i >= 64 {
+				// Bucket 64 holds observations >= 2^63; its upper edge
+				// 2^64 is not representable, and 1<<64 would shift-
+				// overflow to 0 — the worst possible "upper bound".
+				return math.MaxUint64
+			}
 			return 1 << uint(i)
 		}
 	}
-	return 1 << uint(len(h.buckets))
+	if n := len(h.buckets); n > 0 && n <= 64 {
+		return 1 << uint(n)
+	}
+	return math.MaxUint64
 }
 
 // Merge combines another histogram into h.

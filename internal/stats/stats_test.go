@@ -310,3 +310,25 @@ func TestSampleValuesSorted(t *testing.T) {
 		t.Fatalf("quantile after post-sort add: got %g, want 0", got)
 	}
 }
+
+// TestQuantileUpperTopBucket is the regression for the shift overflow:
+// observations at or above 2^63 land in bucket 64, whose upper edge 2^64
+// is unrepresentable — QuantileUpper used to compute 1<<64 == 0, the
+// worst possible "upper bound". It must clamp to MaxUint64.
+func TestQuantileUpperTopBucket(t *testing.T) {
+	var h Histogram
+	h.Add(math.MaxUint64)
+	if got := h.QuantileUpper(1); got != math.MaxUint64 {
+		t.Fatalf("QuantileUpper(1) over a MaxUint64 observation = %d, want MaxUint64", got)
+	}
+	h.Add(1 << 63)
+	if got := h.QuantileUpper(0.5); got != math.MaxUint64 {
+		t.Fatalf("QuantileUpper(0.5) = %d, want MaxUint64", got)
+	}
+	// One bucket below the clamp still reports a real power of two.
+	var h2 Histogram
+	h2.Add(1<<63 - 1) // bucket 63: [2^62, 2^63)
+	if got := h2.QuantileUpper(1); got != 1<<63 {
+		t.Fatalf("QuantileUpper(1) just below the top bucket = %d, want 2^63", got)
+	}
+}

@@ -1,0 +1,149 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"hbmsim/internal/core"
+	"hbmsim/internal/trace"
+)
+
+// Journal is a crash-tolerant, append-only log of completed sweep rows.
+// Each successfully finished job is appended as one JSON line keyed by
+// (job name, config hash, workload hash), and a sweep restarted with
+// Options.Resume skips every journaled job — so a killed hbmsweep run
+// re-executes only the points it had not finished.
+//
+// Keys use the same ConfigHash/WorkloadHash fingerprints the checkpoint
+// format uses, so a journal row is only ever replayed into a job with the
+// identical configuration and traces; renaming a job or touching its
+// config re-runs it. Workload hashes are cached per *trace.Workload, so
+// a thousand jobs sharing one workload hash it once.
+//
+// The file is recovered leniently on open: a torn final line (the
+// process died mid-append) or trailing garbage is discarded — the file
+// is truncated back to the last intact row — and every intact row before
+// it is kept.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	seen   map[string]*core.Result
+	wlHash map[*trace.Workload]uint64
+}
+
+// journalEntry is the on-disk form of one completed row.
+type journalEntry struct {
+	Key    string       `json:"key"`
+	Result *core.Result `json:"result"`
+}
+
+// OpenJournal opens (creating if needed) the journal at path and loads
+// every intact row. The file is truncated past the last intact row, so
+// subsequent Records append to a clean tail.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{
+		f:      f,
+		seen:   make(map[string]*core.Result),
+		wlHash: make(map[*trace.Workload]uint64),
+	}
+	good, err := j.load()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: truncating journal tail: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// load scans the journal, filling seen, and returns the offset just past
+// the last intact row.
+func (j *Journal) load() (int64, error) {
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	br := bufio.NewReader(j.f)
+	var good int64
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			// io.EOF with a partial line is a torn append; any other error
+			// means the file itself is unreadable.
+			if err == io.EOF {
+				return good, nil
+			}
+			return 0, err
+		}
+		var e journalEntry
+		if json.Unmarshal([]byte(line), &e) != nil || e.Key == "" || e.Result == nil {
+			// A corrupt row poisons trust in everything after it.
+			return good, nil
+		}
+		j.seen[e.Key] = e.Result
+		good += int64(len(line))
+	}
+}
+
+// key fingerprints a job. Cache hits make this a map lookup plus one
+// small hash even for huge workloads.
+func (j *Journal) key(job Job) string {
+	h, ok := j.wlHash[job.Workload]
+	if !ok {
+		h = core.WorkloadHash(job.Workload.Raw())
+		j.wlHash[job.Workload] = h
+	}
+	return fmt.Sprintf("%s|%016x|%016x", job.Name, core.ConfigHash(job.Config), h)
+}
+
+// Lookup returns the journaled result for the job, if one exists.
+func (j *Journal) Lookup(job Job) (*core.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	res, ok := j.seen[j.key(job)]
+	return res, ok
+}
+
+// Record appends one completed row and syncs it to stable storage, so a
+// crash immediately after a job finishes cannot lose it.
+func (j *Journal) Record(job Job, res *core.Result) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	key := j.key(job)
+	line, err := json.Marshal(journalEntry{Key: key, Result: res})
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("sweep: appending journal row: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("sweep: syncing journal: %w", err)
+	}
+	j.seen[key] = res
+	return nil
+}
+
+// Len returns the number of rows currently journaled.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.seen)
+}
+
+// Close closes the underlying file. Recording after Close fails.
+func (j *Journal) Close() error { return j.f.Close() }

@@ -23,13 +23,32 @@ type Replicated struct {
 	Err error
 }
 
-// seedStride separates replica seeds far enough that the simulator's
-// internal seed offsets (+1..+4) can never collide across replicas.
-const seedStride = 1 << 20
+// replicaSeed derives replica r's seed from the base seed. Replica 0
+// keeps the base seed (so a single-replica run is the plain run), and
+// later replicas mix (base, r) through the SplitMix64 finalizer. The
+// additive scheme this replaced (Seed + r*stride) let two jobs whose
+// base seeds differ by a multiple of the stride silently share replica
+// seeds — and could overflow int64 for large bases; the mix makes any
+// collision across (base, r) pairs as unlikely as a 64-bit hash
+// collision, and the simulator's internal +1..+4 seed offsets stay safe
+// because the finalizer's avalanche separates nearby outputs.
+func replicaSeed(base int64, r int) int64 {
+	if r == 0 {
+		return base
+	}
+	z := uint64(base) + uint64(r)*0x9E3779B97F4A7C15 // golden-ratio increment
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
 
-// RunReplicated executes every job `replicas` times (seeds Seed,
-// Seed+stride, ...) on the worker pool and aggregates per-job statistics.
-// replicas < 1 is treated as 1.
+// RunReplicated executes every job `replicas` times (replica 0 on the
+// job's own seed, later replicas on SplitMix64-derived seeds) on the
+// worker pool and aggregates per-job statistics. replicas < 1 is
+// treated as 1.
 func RunReplicated(jobs []Job, replicas, workers int) []Replicated {
 	return RunReplicatedContext(context.Background(), jobs, replicas, Options{Workers: workers})
 }
@@ -46,7 +65,7 @@ func RunReplicatedContext(ctx context.Context, jobs []Job, replicas int, opts Op
 	for _, j := range jobs {
 		for r := 0; r < replicas; r++ {
 			jr := j
-			jr.Config.Seed += int64(r) * seedStride
+			jr.Config.Seed = replicaSeed(j.Config.Seed, r)
 			expanded = append(expanded, jr)
 		}
 	}

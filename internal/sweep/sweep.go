@@ -50,9 +50,16 @@ type Row struct {
 
 // Progress is one live-progress update, delivered after a job finishes.
 // Updates are serialized (never concurrent) and Completed increases by one
-// per call, reaching Total on the final update of an uncancelled sweep.
+// per call — except that a resumed sweep's first update folds all
+// journal-restored rows in at once — reaching Total on the final update
+// of an uncancelled sweep. A
+// cancelled sweep delivers one terminal update that folds every
+// never-dispatched job into Completed and Failed, so consumers waiting
+// for Completed == Total (the /progress endpoint, progress bars) always
+// see the sweep finish.
 type Progress struct {
-	// Completed counts finished jobs (including failed ones); Total is
+	// Completed counts finished jobs (including failed and, on a
+	// cancelled sweep's terminal update, never-dispatched ones); Total is
 	// len(jobs).
 	Completed, Total int
 	// Failed counts finished jobs whose Row.Err is non-nil.
@@ -77,6 +84,14 @@ type Options struct {
 	// seconds, so busy/(workers*elapsed) is worker utilization), and the
 	// sweep_workers / sweep_workers_busy gauges.
 	Metrics *metrics.Registry
+	// Journal, when non-nil, appends every successfully completed row to
+	// the crash-tolerant journal as soon as it finishes.
+	Journal *Journal
+	// Resume, when set (with a Journal), restores journaled rows instead
+	// of re-running their jobs: a restarted sweep executes only the jobs
+	// the previous run did not finish. Restored rows are folded into the
+	// first Progress update's Completed count.
+	Resume bool
 }
 
 // Run executes the jobs on min(workers, len(jobs)) goroutines and returns
@@ -128,6 +143,24 @@ func RunContext(ctx context.Context, jobs []Job, opts Options) []Row {
 	if len(jobs) == 0 {
 		return rows
 	}
+
+	// With a resumable journal, jobs finished by a previous run are
+	// restored up front and only the remainder is dispatched.
+	pending := make([]int, 0, len(jobs))
+	for i := range jobs {
+		if opts.Resume && opts.Journal != nil {
+			if res, ok := opts.Journal.Lookup(jobs[i]); ok {
+				rows[i] = Row{Job: jobs[i], Result: res}
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	restored := len(jobs) - len(pending)
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
 	ins := newInstruments(opts.Metrics)
 	ins.workers.Set(int64(workers))
 
@@ -136,6 +169,17 @@ func RunContext(ctx context.Context, jobs []Job, opts Options) []Row {
 		progressMu    sync.Mutex
 		done, failedN int
 	)
+	done = restored
+	if restored > 0 && opts.OnProgress != nil {
+		opts.OnProgress(Progress{
+			Completed: done,
+			Total:     len(jobs),
+			Elapsed:   time.Since(start),
+		})
+	}
+	if len(pending) == 0 {
+		return rows
+	}
 	report := func(jobErr error) {
 		progressMu.Lock()
 		defer progressMu.Unlock()
@@ -171,6 +215,13 @@ func RunContext(ctx context.Context, jobs []Job, opts Options) []Row {
 				ins.busy.Add(1)
 				t0 := time.Now()
 				rows[i] = runJob(jobs[i])
+				if opts.Journal != nil && rows[i].Err == nil && rows[i].Result != nil {
+					if err := opts.Journal.Record(jobs[i], rows[i].Result); err != nil {
+						// Surface a broken journal rather than silently losing
+						// crash tolerance.
+						rows[i].Err = err
+					}
+				}
 				ins.jobSeconds.Observe(time.Since(t0).Seconds())
 				ins.busy.Add(-1)
 				ins.finished.Inc()
@@ -183,23 +234,37 @@ func RunContext(ctx context.Context, jobs []Job, opts Options) []Row {
 	}
 	undispatched := 0
 dispatch:
-	for i := range jobs {
+	for pi, i := range pending {
 		select {
 		case next <- i:
-			undispatched = i + 1
+			undispatched = pi + 1
 		case <-ctx.Done():
 			break dispatch
 		}
 	}
 	close(next)
 	wg.Wait()
-	// Jobs are dispatched in order, so everything at undispatched and
-	// beyond never reached a worker; mark them cancelled rather than
-	// leaving silent zero Rows.
-	if err := context.Cause(ctx); err != nil {
-		for i := undispatched; i < len(jobs); i++ {
+	// Jobs are dispatched in order, so everything at pending[undispatched]
+	// and beyond never reached a worker; mark them cancelled rather than
+	// leaving silent zero Rows, and emit one terminal progress update
+	// covering them — without it, OnProgress consumers would wait forever
+	// for Completed to reach Total.
+	if err := context.Cause(ctx); err != nil && undispatched < len(pending) {
+		for _, i := range pending[undispatched:] {
 			rows[i] = Row{Job: jobs[i], Err: fmt.Errorf("sweep: job %q not run: %w", jobs[i].Name, err)}
 		}
+		progressMu.Lock()
+		done += len(pending) - undispatched
+		failedN += len(pending) - undispatched
+		if opts.OnProgress != nil {
+			opts.OnProgress(Progress{
+				Completed: done,
+				Total:     len(jobs),
+				Failed:    failedN,
+				Elapsed:   time.Since(start),
+			})
+		}
+		progressMu.Unlock()
 	}
 	return rows
 }

@@ -339,3 +339,51 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 		}
 	}
 }
+
+// TestRunContextCancelTerminalProgress pins the terminal Progress
+// contract on cancellation: one final update folds every never-dispatched
+// job into Completed and Failed, so Completed always reaches Total. (A
+// cancelled sweep used to stop reporting at the last finished job,
+// leaving progress consumers waiting forever.)
+func TestRunContextCancelTerminalProgress(t *testing.T) {
+	wl := testWorkload()
+	var jobs []Job
+	for i := 0; i < 32; i++ {
+		jobs = append(jobs, Job{Name: fmt.Sprintf("j%d", i), Config: core.Config{HBMSlots: 3, Channels: 1}, Workload: wl})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var updates []Progress
+	rows := RunContext(ctx, jobs, Options{
+		Workers: 1,
+		OnProgress: func(p Progress) {
+			updates = append(updates, p)
+			if p.Completed == 1 {
+				cancel()
+			}
+		},
+	})
+	if len(updates) == 0 {
+		t.Fatal("no progress updates")
+	}
+	last := updates[len(updates)-1]
+	if last.Completed != len(jobs) || last.Total != len(jobs) {
+		t.Fatalf("terminal update %+v does not cover all %d jobs", last, len(jobs))
+	}
+	var cancelled int
+	for _, r := range rows {
+		if r.Err != nil && errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("cancel left no undispatched jobs (test needs a slower pool)")
+	}
+	if last.Failed < cancelled {
+		t.Fatalf("terminal update counts %d failures, want at least the %d cancelled jobs", last.Failed, cancelled)
+	}
+	for i := 1; i < len(updates); i++ {
+		if updates[i].Completed <= updates[i-1].Completed {
+			t.Fatalf("Completed not monotone: %+v -> %+v", updates[i-1], updates[i])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"io"
 	"strconv"
 
@@ -27,7 +28,25 @@ type EventLog struct {
 
 // NewEventLog builds a CSV event log on w and writes the header row.
 func NewEventLog(w io.Writer) *EventLog {
+	return NewEventLogNamed(w, "")
+}
+
+// NewEventLogNamed is NewEventLog with the workload's name recorded in a
+// leading comment row ("# workload: ..."). The name is JSON-escaped into
+// a quoted string so embedded newlines or commas cannot forge extra CSV
+// rows; an empty name omits the comment, producing byte-identical output
+// to NewEventLog.
+func NewEventLogNamed(w io.Writer, workload string) *EventLog {
 	l := &EventLog{bw: newErrWriter(w), buf: make([]byte, 0, 64)}
+	if workload != "" {
+		name, err := json.Marshal(workload)
+		if err != nil {
+			name = []byte(`"?"`)
+		}
+		l.bw.writeString("# workload: ")
+		l.bw.Write(name)
+		l.bw.writeString("\n")
+	}
 	l.bw.writeString("event,tick,core,page,response\n")
 	return l
 }

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hbmsim/internal/core"
+	"hbmsim/internal/model"
+)
+
+// hostileName packs every character able to break hand-written JSON or
+// CSV framing: quotes, backslashes, braces, commas, newlines, and
+// control bytes.
+const hostileName = "w\"],\n{\"ph\":\"M\"}\\u0000\tcsv,row\r\x1b[31m"
+
+// TestPerfettoNamedEscapesHostileNames pins satellite-fix behaviour: a
+// workload name chosen to break out of the JSON string must survive as
+// data — the whole trace stays valid JSON and the name round-trips
+// exactly through the process_name metadata.
+func TestPerfettoNamedEscapesHostileNames(t *testing.T) {
+	ts := [][]model.PageID{{0, 1, 0}, {5, 6}}
+	cfg := core.Config{HBMSlots: 2, Channels: 1, Seed: 1}
+	var buf bytes.Buffer
+	exp := NewPerfettoNamed(&buf, hostileName, 2, 1)
+	runWith(t, cfg, ts, exp)
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []perfettoEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("hostile workload name broke the trace JSON: %v\n%s", err, buf.Bytes())
+	}
+	found := 0
+	for _, e := range events {
+		if e.Name != "process_name" {
+			continue
+		}
+		name, _ := e.Args["name"].(string)
+		if !strings.HasSuffix(name, ": "+hostileName) {
+			t.Fatalf("process name %q lost the workload name", name)
+		}
+		found++
+	}
+	if found != 3 {
+		t.Fatalf("found %d named process tracks, want 3", found)
+	}
+}
+
+// TestPerfettoNamedEmptyNameIsByteIdentical pins that the named
+// constructor with no name produces exactly NewPerfetto's output, so the
+// golden file covers both paths.
+func TestPerfettoNamedEmptyNameIsByteIdentical(t *testing.T) {
+	ts := [][]model.PageID{{0, 1, 0}, {5, 6}}
+	cfg := core.Config{HBMSlots: 2, Channels: 1, Seed: 1}
+	var plain, named bytes.Buffer
+	e1 := NewPerfetto(&plain, 2, 1)
+	runWith(t, cfg, ts, e1)
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewPerfettoNamed(&named, "", 2, 1)
+	runWith(t, cfg, ts, e2)
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), named.Bytes()) {
+		t.Fatal("NewPerfettoNamed(\"\") output differs from NewPerfetto")
+	}
+}
+
+// TestEventLogNamedEscapesHostileNames pins the CSV side: the workload
+// name lands in one leading comment row as a JSON string literal, so its
+// newlines and commas cannot forge rows, and the data schema is intact.
+func TestEventLogNamedEscapesHostileNames(t *testing.T) {
+	ts := [][]model.PageID{{0, 1, 0}, {5, 6}}
+	cfg := core.Config{HBMSlots: 2, Channels: 1, Seed: 1}
+	var buf bytes.Buffer
+	l := NewEventLogNamed(&buf, hostileName)
+	runWith(t, cfg, ts, l)
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	if !sc.Scan() {
+		t.Fatal("empty event log")
+	}
+	comment := sc.Text()
+	quoted, ok := strings.CutPrefix(comment, "# workload: ")
+	if !ok {
+		t.Fatalf("first row %q is not the workload comment", comment)
+	}
+	var name string
+	if err := json.Unmarshal([]byte(quoted), &name); err != nil {
+		t.Fatalf("workload comment %q is not a JSON string: %v", quoted, err)
+	}
+	if name != hostileName {
+		t.Fatalf("workload name did not round-trip: %q", name)
+	}
+	if !sc.Scan() || sc.Text() != "event,tick,core,page,response" {
+		t.Fatalf("second row %q is not the header", sc.Text())
+	}
+	for sc.Scan() {
+		if fields := strings.Split(sc.Text(), ","); len(fields) != 5 {
+			t.Fatalf("row %q has %d fields, want 5 (name leaked into the data?)", sc.Text(), len(fields))
+		}
+	}
+
+	// And the empty name changes nothing.
+	var plain, named bytes.Buffer
+	p1 := NewEventLog(&plain)
+	runWith(t, cfg, ts, p1)
+	p1.Flush()
+	p2 := NewEventLogNamed(&named, "")
+	runWith(t, cfg, ts, p2)
+	p2.Flush()
+	if !bytes.Equal(plain.Bytes(), named.Bytes()) {
+		t.Fatal("NewEventLogNamed(\"\") output differs from NewEventLog")
+	}
+}

@@ -1,11 +1,25 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
 	"hbmsim/internal/model"
 )
+
+// jstr renders s as a JSON string literal (quotes included), escaping
+// quotes, backslashes, and control characters — workload names come from
+// the command line and file names, and a hostile one must not be able to
+// break out of the surrounding hand-written JSON.
+func jstr(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Marshal of a string cannot fail; keep a safe fallback anyway.
+		return `"?"`
+	}
+	return string(b)
+}
 
 // Perfetto track layout: cores, far channels, and simulator-global
 // events/counters live in three synthetic "processes" so ui.perfetto.dev
@@ -52,6 +66,15 @@ type PerfettoExporter struct {
 // far-channel counts, writing the JSON preamble and track metadata
 // immediately.
 func NewPerfetto(w io.Writer, cores, channels int) *PerfettoExporter {
+	return NewPerfettoNamed(w, "", cores, channels)
+}
+
+// NewPerfettoNamed is NewPerfetto with the workload's name folded into
+// the process track names. The name is JSON-escaped, so quotes,
+// backslashes, newlines, or any other hostile content in a workload name
+// cannot corrupt the trace; an empty name produces byte-identical output
+// to NewPerfetto.
+func NewPerfettoNamed(w io.Writer, workload string, cores, channels int) *PerfettoExporter {
 	if cores < 1 {
 		cores = 1
 	}
@@ -64,10 +87,14 @@ func NewPerfetto(w io.Writer, cores, channels int) *PerfettoExporter {
 		channels: channels,
 		latency:  1,
 	}
+	suffix := ""
+	if workload != "" {
+		suffix = ": " + workload
+	}
 	e.bw.writeByte('[')
-	e.meta(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":"cores"}}`, pidCores)
-	e.meta(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":"far channels"}}`, pidChannels)
-	e.meta(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":"hbm"}}`, pidSim)
+	e.meta(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":%s}}`, pidCores, jstr("cores"+suffix))
+	e.meta(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":%s}}`, pidChannels, jstr("far channels"+suffix))
+	e.meta(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":%s}}`, pidSim, jstr("hbm"+suffix))
 	for c := 0; c < cores; c++ {
 		e.meta(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"core %d"}}`, pidCores, c, c)
 	}

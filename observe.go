@@ -77,9 +77,25 @@ func NewPerfetto(w io.Writer, cores, channels int) *PerfettoExporter {
 	return telemetry.NewPerfetto(w, cores, channels)
 }
 
+// NewPerfettoNamed is NewPerfetto with the workload's name folded into
+// the trace's process names. The name is JSON-escaped, so arbitrary
+// workload names are safe; an empty name is byte-identical to
+// NewPerfetto.
+func NewPerfettoNamed(w io.Writer, workload string, cores, channels int) *PerfettoExporter {
+	return telemetry.NewPerfettoNamed(w, workload, cores, channels)
+}
+
 // NewEventLog builds a buffered CSV event log writing to w; call Flush
 // after the run.
 func NewEventLog(w io.Writer) *EventLog { return telemetry.NewEventLog(w) }
+
+// NewEventLogNamed is NewEventLog with the workload's name recorded in a
+// leading "# workload:" comment row as a JSON-escaped string, so hostile
+// names cannot forge CSV rows; an empty name is byte-identical to
+// NewEventLog.
+func NewEventLogNamed(w io.Writer, workload string) *EventLog {
+	return telemetry.NewEventLogNamed(w, workload)
+}
 
 // Live metrics: Meter streams the simulator's hot-path activity into
 // atomic counters and histograms in a MetricsRegistry, safe to scrape from
