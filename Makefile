@@ -8,7 +8,7 @@ BENCHTIME ?= 0.5s
 # Each benchmark runs BENCH_COUNT times and benchjson keeps the fastest
 # run, so snapshots (and the bench-diff gate) resist machine noise.
 BENCH_COUNT ?= 3
-BENCH_OUT ?= BENCH_PR4.json
+BENCH_OUT ?= BENCH_PR5.json
 # bench-diff compares the previous PR's committed snapshot against the
 # current one and fails on regressions past BENCH_THRESHOLD percent.
 # 25% rather than benchjson's 15% default: cross-binary comparisons of
@@ -16,22 +16,22 @@ BENCH_OUT ?= BENCH_PR4.json
 # (linking new packages moves hot loops across cache-line boundaries),
 # and allocs/op — which is deterministic — is still gated tightly by the
 # same threshold.
-BENCH_BASE ?= BENCH_PR3.json
+BENCH_BASE ?= BENCH_PR4.json
 BENCH_THRESHOLD ?= 25
 
 # fuzz-smoke runs each fuzzer briefly inside `make check`; the standalone
 # `fuzz` target digs longer.
 SMOKE_FUZZTIME ?= 5s
 
-.PHONY: all check build vet test test-short test-race bench bench-json bench-diff profile fuzz fuzz-smoke repro repro-full figures clean
+.PHONY: all check build vet test test-short test-race bench bench-json bench-diff profile fuzz fuzz-smoke docsmoke repro repro-full figures clean
 
 all: build vet test test-race
 
 # The one-stop gate: formatting, vet, build, tests (incl. -race), a short
-# fuzzing smoke over the codecs and the snapshot format, a fresh
-# machine-readable benchmark snapshot, and the cross-PR regression gate.
-# `vet` fails on gofmt drift.
-check: vet build test test-race fuzz-smoke bench-json bench-diff
+# fuzzing smoke over the codecs and the snapshot format, the doc-drift
+# gate, a fresh machine-readable benchmark snapshot, and the cross-PR
+# regression gate. `vet` fails on gofmt drift.
+check: vet build test test-race fuzz-smoke docsmoke bench-json bench-diff
 
 build:
 	$(GO) build ./...
@@ -94,6 +94,12 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadText -fuzztime=$(SMOKE_FUZZTIME) ./internal/trace/
 	$(GO) test -fuzz=FuzzCheckpointRoundTrip -fuzztime=$(SMOKE_FUZZTIME) ./internal/core/
 	$(GO) test -fuzz=FuzzResumeCorrupt -fuzztime=$(SMOKE_FUZZTIME) ./internal/core/
+
+# Doc-drift gate: every fenced sh/go block in the listed docs must match
+# the tree — Go examples compile, documented flags exist, make targets
+# resolve. See cmd/docsmoke.
+docsmoke:
+	$(GO) run ./cmd/docsmoke README.md EXPERIMENTS.md OPERATIONS.md
 
 # Regenerate every table and figure (laptop scale, ~4 minutes).
 repro:

@@ -33,5 +33,7 @@ func ResumeSim(r io.Reader, cfg Config, wl *Workload) (*Sim, error) {
 // with WorkloadFingerprint it keys snapshots and sweep-journal rows.
 func ConfigFingerprint(cfg Config) uint64 { return core.ConfigHash(cfg) }
 
-// WorkloadFingerprint hashes a workload's traces.
+// WorkloadFingerprint hashes a workload's traces as stored — i.e. after
+// NewWorkload's page-ID renumbering — so it keys on access structure
+// (trace count, lengths, order, repeat pattern), not raw page-ID values.
 func WorkloadFingerprint(wl *Workload) uint64 { return core.WorkloadHash(wl.Raw()) }

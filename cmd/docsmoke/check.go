@@ -1,0 +1,279 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// passthrough commands are legitimate in docs but have nothing for a
+// dry-run to validate (network tools, shell builtins, process control).
+var passthrough = map[string]bool{
+	"curl": true, "git": true, "cd": true, "echo": true, "cat": true,
+	"grep": true, "kill": true, "pgrep": true, "wait": true, "gofmt": true,
+}
+
+type checker struct {
+	root    string
+	verbose bool
+
+	flags   map[string]map[string]bool // tool name -> registered flags
+	targets map[string]bool            // make targets, lazily loaded
+	binDir  string
+
+	checked int
+	errs    []string
+}
+
+func newChecker(root string, verbose bool) *checker {
+	return &checker{root: root, verbose: verbose, flags: map[string]map[string]bool{}}
+}
+
+func (c *checker) errorf(format string, args ...any) {
+	c.errs = append(c.errs, fmt.Sprintf(format, args...))
+}
+
+func (c *checker) logf(format string, args ...any) {
+	if c.verbose {
+		fmt.Printf(format+"\n", args...)
+	}
+}
+
+// report prints the verdict and returns whether everything passed.
+func (c *checker) report() bool {
+	if c.binDir != "" {
+		os.RemoveAll(c.binDir)
+	}
+	for _, e := range c.errs {
+		fmt.Fprintf(os.Stderr, "docsmoke: %s\n", e)
+	}
+	if len(c.errs) > 0 {
+		fmt.Fprintf(os.Stderr, "docsmoke: %d problem(s) in %d checked block(s)\n", len(c.errs), c.checked)
+		return false
+	}
+	fmt.Printf("docsmoke: %d code block(s) ok\n", c.checked)
+	return true
+}
+
+func (c *checker) checkFile(path string) error {
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(c.root, path)
+	}
+	blocks, err := extractBlocks(path)
+	if err != nil {
+		return err
+	}
+	for _, b := range blocks {
+		switch b.lang {
+		case "go":
+			c.checked++
+			c.checkGo(b)
+		case "sh", "bash", "shell":
+			c.checked++
+			c.checkSh(b)
+		default:
+			c.logf("%s:%d: skipping %q block", b.file, b.line, b.lang)
+		}
+	}
+	return nil
+}
+
+// checkGo compiles a Go block in a throwaway module that replaces the
+// hbmsim import with this tree, so examples using removed API fail.
+func (c *checker) checkGo(b *block) {
+	if !strings.Contains(b.text, "package ") {
+		c.logf("%s:%d: go block without package clause, skipped", b.file, b.line)
+		return
+	}
+	dir, err := os.MkdirTemp("", "docsmoke")
+	if err != nil {
+		c.errorf("%s:%d: %v", b.file, b.line, err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	abs, err := filepath.Abs(c.root)
+	if err != nil {
+		c.errorf("%s:%d: %v", b.file, b.line, err)
+		return
+	}
+	gomod := fmt.Sprintf("module docsmokecheck\n\ngo 1.22\n\nrequire hbmsim v0.0.0\n\nreplace hbmsim => %s\n", abs)
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		c.errorf("%s:%d: %v", b.file, b.line, err)
+		return
+	}
+	if err := os.WriteFile(filepath.Join(dir, "snippet.go"), []byte(b.text), 0o644); err != nil {
+		c.errorf("%s:%d: %v", b.file, b.line, err)
+		return
+	}
+	cmd := exec.Command("go", "build", "./...")
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		c.errorf("%s:%d: go block does not compile:\n%s", b.file, b.line, out)
+		return
+	}
+	c.logf("%s:%d: go block compiles", b.file, b.line)
+}
+
+// checkSh dry-runs a shell block command by command.
+func (c *checker) checkSh(b *block) {
+	for _, cmd := range splitCommands(b.text) {
+		c.checkCommand(b, cmd)
+	}
+}
+
+func (c *checker) checkCommand(b *block, cmd []string) {
+	// Skip leading VAR=value assignments.
+	for len(cmd) > 0 && strings.Contains(cmd[0], "=") && !strings.HasPrefix(cmd[0], "-") {
+		cmd = cmd[1:]
+	}
+	if len(cmd) == 0 {
+		return
+	}
+	name := cmd[0]
+	switch {
+	case name == "go":
+		c.checkGoCommand(b, cmd)
+	case name == "make":
+		for _, t := range cmd[1:] {
+			if strings.HasPrefix(t, "-") || strings.Contains(t, "=") {
+				continue
+			}
+			if !c.makeTargets()[t] {
+				c.errorf("%s:%d: `make %s`: no such target in Makefile", b.file, b.line, t)
+			}
+		}
+	case strings.HasPrefix(name, "./"):
+		// A tool built from cmd/<name> earlier in the docs.
+		tool := strings.TrimPrefix(name, "./")
+		if _, err := os.Stat(filepath.Join(c.root, "cmd", tool)); err != nil {
+			c.logf("%s:%d: %s is not a cmd/ tool, skipped", b.file, b.line, name)
+			return
+		}
+		c.checkToolFlags(b, tool, cmd[1:])
+	case passthrough[name]:
+		c.logf("%s:%d: %s passthrough", b.file, b.line, name)
+	default:
+		c.errorf("%s:%d: command %q is not in docsmoke's allowlist — add it to passthrough or fix the doc", b.file, b.line, name)
+	}
+}
+
+// checkGoCommand validates `go run ./cmd/X -flags...`; other go
+// subcommands (build, test, tool, ...) pass after a path existence
+// check on any ./cmd/... argument.
+func (c *checker) checkGoCommand(b *block, cmd []string) {
+	if len(cmd) < 2 {
+		return
+	}
+	var pkg string
+	for _, t := range cmd[2:] {
+		if strings.HasPrefix(t, "./cmd/") {
+			pkg = t
+			if _, err := os.Stat(filepath.Join(c.root, t)); err != nil {
+				c.errorf("%s:%d: `go %s %s`: package does not exist", b.file, b.line, cmd[1], t)
+				return
+			}
+			break
+		}
+	}
+	if cmd[1] != "run" || pkg == "" {
+		c.logf("%s:%d: go %s passthrough", b.file, b.line, cmd[1])
+		return
+	}
+	// Flags follow the package path; stop at redirections.
+	var args []string
+	seen := false
+	for _, t := range cmd[2:] {
+		if t == pkg && !seen {
+			seen = true
+			continue
+		}
+		if seen {
+			if t == ">" || t == ">>" || t == "<" {
+				break
+			}
+			args = append(args, t)
+		}
+	}
+	c.checkToolFlags(b, strings.TrimPrefix(pkg, "./cmd/"), args)
+}
+
+// checkToolFlags verifies each -flag against the flags the built tool
+// registers (scraped from its -h output).
+func (c *checker) checkToolFlags(b *block, tool string, args []string) {
+	known, err := c.toolFlags(tool)
+	if err != nil {
+		c.errorf("%s:%d: building cmd/%s to verify flags: %v", b.file, b.line, tool, err)
+		return
+	}
+	for _, a := range args {
+		if a == ">" || a == ">>" || a == "<" {
+			break
+		}
+		if !strings.HasPrefix(a, "-") {
+			continue
+		}
+		f := strings.TrimLeft(a, "-")
+		if i := strings.IndexByte(f, '='); i >= 0 {
+			f = f[:i]
+		}
+		if f == "" || !known[f] {
+			c.errorf("%s:%d: cmd/%s has no flag -%s", b.file, b.line, tool, f)
+		}
+	}
+	c.logf("%s:%d: %s flags ok: %s", b.file, b.line, tool, strings.Join(args, " "))
+}
+
+var flagLine = regexp.MustCompile(`(?m)^\s+-([A-Za-z0-9][-_A-Za-z0-9]*)`)
+
+// toolFlags builds cmd/<tool> once and scrapes the flag names from its
+// -h output. Every tool in this repo uses the standard flag package, so
+// -h always prints the full reference.
+func (c *checker) toolFlags(tool string) (map[string]bool, error) {
+	if f, ok := c.flags[tool]; ok {
+		return f, nil
+	}
+	if c.binDir == "" {
+		dir, err := os.MkdirTemp("", "docsmoke-bin")
+		if err != nil {
+			return nil, err
+		}
+		c.binDir = dir
+	}
+	bin := filepath.Join(c.binDir, tool)
+	build := exec.Command("go", "build", "-o", bin, "./cmd/"+tool)
+	build.Dir = c.root
+	if out, err := build.CombinedOutput(); err != nil {
+		return nil, fmt.Errorf("%v\n%s", err, out)
+	}
+	out, _ := exec.Command(bin, "-h").CombinedOutput() // -h exits non-zero on some tools
+	known := map[string]bool{"h": true, "help": true}
+	for _, m := range flagLine.FindAllStringSubmatch(string(out), -1) {
+		known[m[1]] = true
+	}
+	if len(known) == 2 {
+		return nil, fmt.Errorf("cmd/%s -h printed no flags", tool)
+	}
+	c.flags[tool] = known
+	return known, nil
+}
+
+var targetLine = regexp.MustCompile(`(?m)^([A-Za-z0-9][-_A-Za-z0-9]*):`)
+
+func (c *checker) makeTargets() map[string]bool {
+	if c.targets != nil {
+		return c.targets
+	}
+	c.targets = map[string]bool{}
+	data, err := os.ReadFile(filepath.Join(c.root, "Makefile"))
+	if err != nil {
+		return c.targets
+	}
+	for _, m := range targetLine.FindAllStringSubmatch(string(data), -1) {
+		c.targets[m[1]] = true
+	}
+	return c.targets
+}

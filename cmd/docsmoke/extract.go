@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// block is one fenced code block lifted out of a markdown file.
+type block struct {
+	file string
+	line int // 1-based line of the opening fence
+	lang string
+	text string
+}
+
+// extractBlocks returns every fenced code block in a markdown file.
+// Fences may be indented (blocks inside list items), and the indent is
+// stripped from the block body so shell continuations line up.
+func extractBlocks(path string) ([]*block, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var (
+		blocks []*block
+		cur    *block
+		indent string
+		body   strings.Builder
+		n      int
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		trimmed := strings.TrimLeft(line, " ")
+		if strings.HasPrefix(trimmed, "```") {
+			if cur == nil { // opening fence
+				cur = &block{file: path, line: n, lang: strings.TrimSpace(strings.TrimPrefix(trimmed, "```"))}
+				indent = line[:len(line)-len(trimmed)]
+				body.Reset()
+			} else { // closing fence
+				cur.text = body.String()
+				blocks = append(blocks, cur)
+				cur = nil
+			}
+			continue
+		}
+		if cur != nil {
+			body.WriteString(strings.TrimPrefix(line, indent))
+			body.WriteByte('\n')
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("%s:%d: unclosed code fence", path, cur.line)
+	}
+	return blocks, nil
+}
+
+// splitCommands tokenizes a shell block into simple commands. It
+// understands single and double quotes (spanning lines, as in curl
+// bodies), backslash line continuations, unquoted # comments, and the
+// separators newline, ;, &, |, && and ||. It is a dry-run lexer, not a
+// shell: expansions like $(...) stay literal tokens.
+func splitCommands(text string) [][]string {
+	var (
+		cmds  [][]string
+		cmd   []string
+		tok   strings.Builder
+		inTok bool
+	)
+	endTok := func() {
+		if inTok {
+			cmd = append(cmd, tok.String())
+			tok.Reset()
+			inTok = false
+		}
+	}
+	endCmd := func() {
+		endTok()
+		if len(cmd) > 0 {
+			cmds = append(cmds, cmd)
+			cmd = nil
+		}
+	}
+	r := []rune(text)
+	for i := 0; i < len(r); i++ {
+		c := r[i]
+		switch {
+		case c == '\\' && i+1 < len(r) && r[i+1] == '\n':
+			i++ // line continuation: neither a separator nor part of a token
+		case c == '\'' || c == '"':
+			q := c
+			inTok = true
+			for i++; i < len(r) && r[i] != q; i++ {
+				tok.WriteRune(r[i])
+			}
+		case c == '#' && !inTok:
+			for i < len(r) && r[i] != '\n' {
+				i++
+			}
+			endCmd()
+		case c == '\n' || c == ';':
+			endCmd()
+		case c == '&' || c == '|':
+			if i+1 < len(r) && r[i+1] == c {
+				i++
+			}
+			endCmd()
+		case c == ' ' || c == '\t':
+			endTok()
+		default:
+			inTok = true
+			tok.WriteRune(c)
+		}
+	}
+	endCmd()
+	return cmds
+}

@@ -1,0 +1,49 @@
+// Command docsmoke is the doc-drift gate: it extracts fenced `sh` and
+// `go` code blocks from the repo's markdown and validates them against
+// the tree, so documentation that names a flag, command, or API that no
+// longer exists fails `make check` instead of rotting.
+//
+//	go run ./cmd/docsmoke README.md EXPERIMENTS.md OPERATIONS.md
+//
+// Go blocks (those containing a package clause) are compiled in a
+// throwaway module that replaces `hbmsim` with this tree. Shell blocks
+// are dry-run: each command is tokenized (quotes, continuations, and
+// comments handled), and for the commands we can check — `go run
+// ./cmd/X`, `./X` for a tool in cmd/, and `make target` — docsmoke
+// verifies the tool exists and every `-flag` it is given is a flag the
+// built tool actually registers. Other allowlisted commands (curl, git,
+// kill, ...) pass through; nothing is executed for real except each
+// referenced tool's `-h`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		root    = flag.String("C", ".", "repository root (module to validate against)")
+		verbose = flag.Bool("v", false, "report every block and command checked")
+	)
+	flag.Parse()
+
+	files := flag.Args()
+	if len(files) == 0 {
+		files = []string{"README.md", "EXPERIMENTS.md", "OPERATIONS.md"}
+	}
+
+	c := newChecker(*root, *verbose)
+	ok := true
+	for _, f := range files {
+		if err := c.checkFile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "docsmoke: %v\n", err)
+			ok = false
+		}
+	}
+	ok = c.report() && ok
+	if !ok {
+		os.Exit(1)
+	}
+}

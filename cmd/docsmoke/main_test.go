@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestExtractBlocks(t *testing.T) {
+	md := "intro\n" +
+		"```sh\necho hi\n```\n" +
+		"a list item:\n" +
+		"  ```go\n  package main\n  func main() {}\n  ```\n" +
+		"```\nbare fence, no lang\n```\n"
+	path := filepath.Join(t.TempDir(), "doc.md")
+	if err := os.WriteFile(path, []byte(md), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := extractBlocks(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3", len(blocks))
+	}
+	if blocks[0].lang != "sh" || blocks[0].text != "echo hi\n" {
+		t.Errorf("sh block = %q %q", blocks[0].lang, blocks[0].text)
+	}
+	// The list-item indent must be stripped so the Go block compiles.
+	if blocks[1].lang != "go" || !strings.HasPrefix(blocks[1].text, "package main") {
+		t.Errorf("indented go block not dedented: %q", blocks[1].text)
+	}
+	if blocks[2].lang != "" {
+		t.Errorf("bare fence lang = %q", blocks[2].lang)
+	}
+}
+
+func TestExtractUnclosedFence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "doc.md")
+	os.WriteFile(path, []byte("```sh\nno close\n"), 0o644)
+	if _, err := extractBlocks(path); err == nil {
+		t.Fatal("unclosed fence accepted")
+	}
+}
+
+func TestSplitCommands(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want [][]string
+	}{
+		{"go run ./cmd/hbmsweep -exp fig2a\n", [][]string{{"go", "run", "./cmd/hbmsweep", "-exp", "fig2a"}}},
+		// Backslash continuation joins lines into one command.
+		{"go run ./cmd/hbmsim -gen sort \\\n    -cores 64\n", [][]string{{"go", "run", "./cmd/hbmsim", "-gen", "sort", "-cores", "64"}}},
+		// Comments vanish; & backgrounds end a command; && splits.
+		{"sleep 1 &\n# gone\na && b\n", [][]string{{"sleep", "1"}, {"a"}, {"b"}}},
+		// Single quotes span lines (curl -d '{...}' JSON bodies).
+		{"curl -d '{\n  \"kind\": \"sim\"\n}' x | head\n", [][]string{{"curl", "-d", "{\n  \"kind\": \"sim\"\n}", "x"}, {"head"}}},
+		// Double quotes keep $(...) literal; ; splits.
+		{"kill -TERM \"$(pgrep hbmserved)\"; echo done\n", [][]string{{"kill", "-TERM", "$(pgrep hbmserved)"}, {"echo", "done"}}},
+	} {
+		got := splitCommands(tc.in)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("splitCommands(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// repoRoot is the module root relative to this package's test binary.
+const repoRoot = "../.."
+
+// TestDriftIsCaught is the gate's own gate: stale flags, dead make
+// targets, unlisted commands, and non-compiling Go examples must all be
+// flagged.
+func TestDriftIsCaught(t *testing.T) {
+	md := "```sh\n" +
+		"go run ./cmd/hbmsweep -exp fig2a -no-such-flag 3\n" +
+		"go run ./cmd/nonexistent -x\n" +
+		"make no-such-target\n" +
+		"frobnicate --hard\n" +
+		"```\n" +
+		"```go\npackage main\n\nimport \"hbmsim\"\n\nfunc main() { hbmsim.NoSuchSymbol() }\n```\n"
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "doc.md"), []byte(md), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	abs, _ := filepath.Abs(repoRoot)
+	c := newChecker(abs, false)
+	// checkFile resolves paths against root; use an absolute doc path.
+	if err := c.checkFile(filepath.Join(dir, "doc.md")); err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(c.errs, "\n")
+	for _, want := range []string{
+		"no flag -no-such-flag",
+		"package does not exist",
+		"no such target",
+		`"frobnicate"`,
+		"does not compile",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("drift not caught: missing %q in:\n%s", want, joined)
+		}
+	}
+	if len(c.errs) != 5 {
+		t.Errorf("got %d errors, want 5:\n%s", len(c.errs), joined)
+	}
+}
+
+// TestRepoDocsPass runs the real gate over the real docs — the same
+// invocation as `make docsmoke`.
+func TestRepoDocsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles every documented tool")
+	}
+	c := newChecker(repoRoot, false)
+	for _, f := range []string{"README.md", "EXPERIMENTS.md", "OPERATIONS.md"} {
+		if err := c.checkFile(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(c.errs) > 0 {
+		t.Fatalf("repo docs drifted:\n%s", strings.Join(c.errs, "\n"))
+	}
+	if c.checked < 10 {
+		t.Fatalf("only %d blocks checked — extraction broke?", c.checked)
+	}
+}

@@ -1,0 +1,334 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// binPath is the hbmserved binary built once by TestMain; the e2e tests
+// drive it as a real process so signals behave exactly as in production.
+var binPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "hbmserved-e2e")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	binPath = filepath.Join(dir, "hbmserved.bin")
+	build := exec.Command("go", "build", "-o", binPath, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "building hbmserved:", err)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// server wraps one running hbmserved process.
+type server struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+func startServer(t *testing.T, dir string, extra ...string) *server {
+	t.Helper()
+	addrFile := filepath.Join(dir, "addr")
+	os.Remove(addrFile)
+	args := append([]string{
+		"-dir", dir,
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-log-level", "warn",
+	}, extra...)
+	cmd := exec.Command(binPath, args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting hbmserved: %v", err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			return &server{cmd: cmd, addr: strings.TrimSpace(string(b))}
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("server never published its address; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (s *server) url(path string) string { return "http://" + s.addr + path }
+
+func (s *server) submit(t *testing.T, spec string) uint64 {
+	t.Helper()
+	resp, err := http.Post(s.url("/jobs"), "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	var v struct {
+		ID uint64 `json:"id"`
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v.ID
+}
+
+// getJob fetches a job's raw view as loosely typed JSON.
+func (s *server) getJob(t *testing.T, id uint64) map[string]json.RawMessage {
+	t.Helper()
+	resp, err := http.Get(s.url(fmt.Sprintf("/jobs/%d", id)))
+	if err != nil {
+		t.Fatalf("get job %d: %v", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get job %d: status %d", id, resp.StatusCode)
+	}
+	var m map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func jobState(m map[string]json.RawMessage) string {
+	var s string
+	json.Unmarshal(m["state"], &s)
+	return s
+}
+
+func jobCompleted(m map[string]json.RawMessage) int {
+	var p struct {
+		Completed int `json:"completed"`
+	}
+	json.Unmarshal(m["progress"], &p)
+	return p.Completed
+}
+
+// waitDone polls the job until it reaches "done", failing on any other
+// terminal state.
+func (s *server) waitDone(t *testing.T, id uint64, timeout time.Duration) map[string]json.RawMessage {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		m := s.getJob(t, id)
+		switch jobState(m) {
+		case "done":
+			return m
+		case "failed", "cancelled":
+			t.Fatalf("job %d ended %s: %s", id, jobState(m), m["error"])
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %d not done after %v (state %s, completed %d)",
+				id, timeout, jobState(m), jobCompleted(m))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// sweepJob is sized so each point takes long enough that a SIGKILL lands
+// mid-job with some points journaled and others not.
+const sweepJob = `{
+  "kind": "sweep",
+  "name": "e2e-kill",
+  "workload": {"gen": "zipf", "cores": 4, "size": 150000, "seed": 5},
+  "points": [
+    {"config": {"hbm_slots": 64, "arbiter": "priority"}},
+    {"config": {"hbm_slots": 128, "arbiter": "priority"}},
+    {"config": {"hbm_slots": 256, "arbiter": "priority"}},
+    {"config": {"hbm_slots": 64, "arbiter": "fifo"}},
+    {"config": {"hbm_slots": 128, "arbiter": "fifo"}},
+    {"config": {"hbm_slots": 256, "arbiter": "fifo"}},
+    {"config": {"hbm_slots": 64, "arbiter": "random"}},
+    {"config": {"hbm_slots": 128, "arbiter": "random"}},
+    {"config": {"hbm_slots": 256, "arbiter": "random"}},
+    {"config": {"hbm_slots": 512, "arbiter": "priority"}},
+    {"config": {"hbm_slots": 512, "arbiter": "fifo"}},
+    {"config": {"hbm_slots": 512, "arbiter": "random"}}
+  ],
+  "workers": 1
+}`
+
+const quickJob = `{
+  "kind": "sim",
+  "name": "e2e-quick",
+  "workload": {"gen": "uniform", "cores": 4, "size": 2000, "seed": 7},
+  "config": {"hbm_slots": 64, "arbiter": "priority"}
+}`
+
+// TestKillNineRecoveryBitIdentical is the acceptance-criteria test:
+// hbmserved is SIGKILLed mid-sweep-job, restarted on the same state
+// directory, and the finished job's rows are byte-identical to an
+// uninterrupted run of the same spec in a fresh directory.
+func TestKillNineRecoveryBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	s1 := startServer(t, dir, "-workers", "1")
+	id := s1.submit(t, sweepJob)
+
+	// Let some points finish (journaled) but not all, then SIGKILL.
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		m := s1.getJob(t, id)
+		if jobState(m) == "done" {
+			t.Fatal("sweep finished before the kill; grow the workload")
+		}
+		if jobCompleted(m) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no progress before kill deadline")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := s1.cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no goodbye
+		t.Fatal(err)
+	}
+	s1.cmd.Wait()
+
+	// Restart on the same directory: the job must be recovered and run
+	// to completion.
+	s2 := startServer(t, dir, "-workers", "1")
+	defer func() { s2.cmd.Process.Kill(); s2.cmd.Wait() }()
+	m := s2.getJob(t, id)
+	var recovered bool
+	json.Unmarshal(m["recovered"], &recovered)
+	if !recovered {
+		t.Fatalf("job not marked recovered after SIGKILL restart: %s", m["state"])
+	}
+	got := s2.waitDone(t, id, 180*time.Second)
+
+	// Uninterrupted control run in a fresh directory.
+	s3 := startServer(t, t.TempDir(), "-workers", "1")
+	defer func() { s3.cmd.Process.Kill(); s3.cmd.Wait() }()
+	id3 := s3.submit(t, sweepJob)
+	want := s3.waitDone(t, id3, 180*time.Second)
+
+	gotRows, wantRows := compactJSON(t, got["result"]), compactJSON(t, want["result"])
+	if !bytes.Equal(gotRows, wantRows) {
+		t.Errorf("recovered result differs from uninterrupted run:\n got: %.200s\nwant: %.200s",
+			gotRows, wantRows)
+	}
+}
+
+func compactJSON(t *testing.T, raw json.RawMessage) []byte {
+	t.Helper()
+	if len(raw) == 0 {
+		t.Fatal("missing result payload")
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSigtermCleanDrain pins graceful shutdown: SIGTERM lets the running
+// job finish, the process exits 0, and a restart shows the job done
+// without re-running it.
+func TestSigtermCleanDrain(t *testing.T) {
+	dir := t.TempDir()
+	s := startServer(t, dir, "-drain-timeout", "120s")
+	id := s.submit(t, quickJob)
+	if err := s.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.cmd.Wait(); err != nil {
+		t.Fatalf("SIGTERM drain should exit 0, got %v", err)
+	}
+
+	s2 := startServer(t, dir)
+	defer func() { s2.cmd.Process.Signal(syscall.SIGTERM); s2.cmd.Wait() }()
+	m := s2.getJob(t, id)
+	if jobState(m) != "done" {
+		t.Fatalf("drained job state %q after restart, want done", jobState(m))
+	}
+	if len(m["result"]) == 0 {
+		t.Error("drained job lost its result across restart")
+	}
+}
+
+// TestBackpressure429EndToEnd fills the admission queue of a real
+// process and checks the HTTP contract: 429 plus Retry-After.
+func TestBackpressure429EndToEnd(t *testing.T) {
+	s := startServer(t, t.TempDir(), "-workers", "1", "-queue", "1")
+	defer func() { s.cmd.Process.Kill(); s.cmd.Wait() }()
+
+	s.submit(t, sweepJob) // occupies the single worker
+	// Wait until it is running so the queue is empty again.
+	deadline := time.Now().Add(30 * time.Second)
+	for jobState(s.getJob(t, 1)) != "running" {
+		if time.Now().After(deadline) {
+			t.Fatal("job 1 never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.submit(t, quickJob) // fills the queue
+
+	resp, err := http.Post(s.url("/jobs"), "application/json", strings.NewReader(quickJob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+}
+
+// TestIntrospectionMounted checks the job API shares the address with
+// /metrics and /progress, and that serve_* metrics are exposed.
+func TestIntrospectionMounted(t *testing.T) {
+	s := startServer(t, t.TempDir())
+	defer func() { s.cmd.Process.Signal(syscall.SIGTERM); s.cmd.Wait() }()
+	id := s.submit(t, quickJob)
+	s.waitDone(t, id, 60*time.Second)
+
+	resp, err := http.Get(s.url("/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	for _, metric := range []string{"serve_jobs_submitted_total", "serve_queue_depth", "serve_job_seconds"} {
+		if !strings.Contains(body.String(), metric) {
+			t.Errorf("/metrics missing %s", metric)
+		}
+	}
+	resp2, err := http.Get(s.url("/progress"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var prog struct {
+		Completed int `json:"completed"`
+		Total     int `json:"total"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&prog); err != nil {
+		t.Fatal(err)
+	}
+	if prog.Completed != 1 || prog.Total != 1 {
+		t.Errorf("/progress shows %d/%d, want 1/1", prog.Completed, prog.Total)
+	}
+}

@@ -42,13 +42,26 @@ func main() {
 		slots    = flag.String("k", "", "override the HBM-size axis, e.g. 1000,3000,5000")
 		httpAddr = flag.String("http", "", "serve /metrics, /progress, /debug/vars, /debug/pprof on this address (e.g. :8080; empty = no listener)")
 		logLevel = flag.String("log-level", "info", "structured-log level: debug|info|warn|error")
-		journal  = flag.String("journal", "", "append each completed sweep row to this crash-tolerant journal file")
-		resume   = flag.Bool("resume", false, "skip jobs already recorded in -journal (requires -journal)")
+		journal  = flag.String("journal", "", "append each completed sweep row to this crash-tolerant journal file; pair with -resume to continue an interrupted run")
 	)
+	// -resume is a bare switch: the journal file is always named by
+	// -journal, for both writing and resuming. flag.BoolFunc (instead of
+	// flag.Bool) lets us catch the natural mistake `-resume=FILE` with a
+	// one-line hint rather than a parse error plus a full usage dump.
+	resume := false
+	flag.BoolFunc("resume", "replay rows already recorded in -journal instead of re-running them (bare switch; the file is named by -journal)", func(s string) error {
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			return fmt.Errorf("-resume takes no value; name the journal file with -journal, e.g. `hbmsweep -exp fig2a -journal %s -resume`", s)
+		}
+		resume = v
+		return nil
+	})
+	flag.Usage = compactUsage
 	flag.Parse()
 
-	if *resume && *journal == "" {
-		fmt.Fprintln(os.Stderr, "hbmsweep: -resume requires -journal")
+	if resume && *journal == "" {
+		fmt.Fprintln(os.Stderr, "hbmsweep: -resume needs -journal FILE to name the journal to resume from, e.g. `hbmsweep -exp fig2a -journal fig2a.jnl -resume`")
 		os.Exit(2)
 	}
 
@@ -122,8 +135,8 @@ func main() {
 		}
 		defer j.Close()
 		o.Journal = j
-		o.Resume = *resume
-		if *resume && j.Len() > 0 {
+		o.Resume = resume
+		if resume && j.Len() > 0 {
 			slog.Info("resuming from journal", "path", *journal, "rows", j.Len())
 		}
 	}
@@ -168,6 +181,30 @@ func main() {
 			}
 		}
 	}
+}
+
+// compactUsage keeps flag errors readable: a mistyped flag prints one
+// usage line and a pointer to -h instead of the full 20-flag dump. An
+// explicit -h / -help still prints every flag.
+func compactUsage() {
+	fmt.Fprintln(os.Stderr, "usage: hbmsweep -exp <id>[,<id>...] [flags]")
+	if helpRequested(os.Args[1:]) {
+		flag.PrintDefaults()
+	} else {
+		fmt.Fprintln(os.Stderr, "run 'hbmsweep -h' for all flags, 'hbmsweep -list' for experiment ids")
+	}
+}
+
+// helpRequested reports whether the user explicitly asked for help, as
+// opposed to tripping a flag-parse error.
+func helpRequested(args []string) bool {
+	for _, a := range args {
+		switch a {
+		case "-h", "--h", "-help", "--help":
+			return true
+		}
+	}
+	return false
 }
 
 // introspection bundles the opt-in live-monitoring state behind -http.

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildBin  string
+	buildErr  error
+)
+
+// sweepBinary builds hbmsweep once for the flag-UX tests; flag parsing
+// only behaves like production in a real process. The build directory
+// outlives individual tests and is removed by TestMain.
+func sweepBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "hbmsweep-ux")
+		if buildErr != nil {
+			return
+		}
+		buildBin = filepath.Join(buildDir, "hbmsweep.bin")
+		out, err := exec.Command("go", "build", "-o", buildBin, ".").CombinedOutput()
+		if err != nil {
+			buildErr = err
+			t.Logf("build output: %s", out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building hbmsweep: %v", buildErr)
+	}
+	return buildBin
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if buildDir != "" {
+		os.RemoveAll(buildDir)
+	}
+	os.Exit(code)
+}
+
+// TestResumeFlagUX pins the -resume error messages: both misuses get a
+// one-line actionable hint, never the full flag dump.
+func TestResumeFlagUX(t *testing.T) {
+	bin := sweepBinary(t)
+
+	// -resume without -journal: one clear line naming the missing flag.
+	out, err := exec.Command(bin, "-resume").CombinedOutput()
+	if err == nil {
+		t.Fatal("-resume alone should fail")
+	}
+	s := string(out)
+	if !strings.Contains(s, "-resume needs -journal FILE") {
+		t.Errorf("missing-journal message not actionable:\n%s", s)
+	}
+	if strings.Count(s, "\n") > 2 {
+		t.Errorf("message should be one line, got:\n%s", s)
+	}
+
+	// -resume=FILE (the natural mistake: hbmsim -resume takes a path):
+	// the hint shows the correct -journal spelling with the user's file.
+	out, err = exec.Command(bin, "-resume=run.jnl").CombinedOutput()
+	if err == nil {
+		t.Fatal("-resume=FILE should fail")
+	}
+	s = string(out)
+	if !strings.Contains(s, "-journal run.jnl -resume") {
+		t.Errorf("value-form hint should show the fixed command line:\n%s", s)
+	}
+	if strings.Contains(s, "-spgemmn") || strings.Contains(s, "-watchdog") {
+		t.Errorf("flag error should not dump the full flag list:\n%s", s)
+	}
+
+	// An unknown flag points at -h instead of dumping everything.
+	out, _ = exec.Command(bin, "-no-such-flag").CombinedOutput()
+	s = string(out)
+	if !strings.Contains(s, "hbmsweep -h") {
+		t.Errorf("unknown-flag error should point at -h:\n%s", s)
+	}
+	if strings.Contains(s, "-spgemmn") {
+		t.Errorf("unknown-flag error should not dump the full flag list:\n%s", s)
+	}
+
+	// Explicit -h still prints the full flag reference, with -journal and
+	// -resume documented together.
+	out, _ = exec.Command(bin, "-h").CombinedOutput()
+	s = string(out)
+	for _, want := range []string{"-journal", "-resume", "-exp", "crash-tolerant journal", "the file is named by -journal"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("-h output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestResumeWorksAsBareSwitch: the happy path still parses.
+func TestResumeWorksAsBareSwitch(t *testing.T) {
+	bin := sweepBinary(t)
+	jnl := filepath.Join(t.TempDir(), "run.jnl")
+	// -list exits before any experiment runs; the flags must parse.
+	out, err := exec.Command(bin, "-journal", jnl, "-resume", "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("bare -resume with -journal rejected: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "fig2a") {
+		t.Errorf("-list output missing experiments:\n%s", out)
+	}
+}

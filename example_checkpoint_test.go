@@ -1,0 +1,107 @@
+package hbmsim_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+
+	"hbmsim"
+)
+
+// ExampleResumeSim is the whole checkpoint/resume loop in one place: run
+// a simulation halfway, snapshot it, reconstruct the simulator from the
+// snapshot (in real use: in another process, after a crash), and finish
+// both. The resumed run's Result is identical to the uninterrupted one.
+func ExampleResumeSim() {
+	wl := hbmsim.NewWorkload("loop", []hbmsim.Trace{
+		{0, 1, 0, 1, 0, 1},
+		{2, 3, 2, 3, 2, 3},
+	})
+	cfg := hbmsim.Config{HBMSlots: 4, Channels: 1}
+
+	sim, err := hbmsim.NewSim(cfg, wl)
+	if err != nil {
+		panic(err)
+	}
+	sim.Step()
+	sim.Step() // ... any number of steps
+
+	var snap bytes.Buffer
+	if err := sim.Checkpoint(&snap); err != nil {
+		panic(err)
+	}
+
+	// Finish the original run.
+	for sim.Step() {
+	}
+
+	// Resume the snapshot — cfg and wl must be exactly the checkpointed
+	// run's — and finish it too.
+	resumed, err := hbmsim.ResumeSim(&snap, cfg, wl)
+	if err != nil {
+		panic(err)
+	}
+	for resumed.Step() {
+	}
+
+	fmt.Println("bit-identical results:", reflect.DeepEqual(sim.Result(), resumed.Result()))
+	// Output:
+	// bit-identical results: true
+}
+
+// ExampleErrSnapshotMismatch: resuming under the wrong configuration is
+// refused instead of silently producing a different simulation.
+func ExampleErrSnapshotMismatch() {
+	wl := hbmsim.NewWorkload("w", []hbmsim.Trace{{0, 1, 2, 3}})
+	cfg := hbmsim.Config{HBMSlots: 4, Channels: 1}
+	sim, err := hbmsim.NewSim(cfg, wl)
+	if err != nil {
+		panic(err)
+	}
+	var snap bytes.Buffer
+	if err := sim.Checkpoint(&snap); err != nil {
+		panic(err)
+	}
+
+	other := cfg
+	other.HBMSlots = 8 // not the config the snapshot was taken under
+	_, err = hbmsim.ResumeSim(&snap, other, wl)
+	fmt.Println(errors.Is(err, hbmsim.ErrSnapshotMismatch))
+	// Output:
+	// true
+}
+
+// ExampleConfigFingerprint: the fingerprint keys snapshots and sweep
+// journal rows — equal configurations (after defaulting) hash equal, any
+// result-affecting change moves the hash.
+func ExampleConfigFingerprint() {
+	a := hbmsim.Config{HBMSlots: 1000, Channels: 1}
+	b := a
+	b.HBMSlots = 2000
+
+	fmt.Println("same config, same key:", hbmsim.ConfigFingerprint(a) == hbmsim.ConfigFingerprint(a))
+	fmt.Println("changed config, same key:", hbmsim.ConfigFingerprint(a) == hbmsim.ConfigFingerprint(b))
+	// Output:
+	// same config, same key: true
+	// changed config, same key: false
+}
+
+// ExampleWorkloadFingerprint: the workload half of the snapshot key,
+// hashed over the normalized traces. NewWorkload renumbers page IDs
+// into dense disjoint ranges, so only the access structure (length,
+// order, repeat pattern) matters — raw page-ID values do not.
+func ExampleWorkloadFingerprint() {
+	a := hbmsim.NewWorkload("a", []hbmsim.Trace{{0, 1, 2}})
+	b := hbmsim.NewWorkload("b", []hbmsim.Trace{{0, 0, 1}}) // different repeat structure
+
+	// Renumbering means raw IDs don't matter: {5, 6, 7} normalizes to
+	// {0, 1, 2}, so it keys identically to workload a.
+	c := hbmsim.NewWorkload("c", []hbmsim.Trace{{5, 6, 7}})
+
+	fmt.Println("different structure, same key:", hbmsim.WorkloadFingerprint(a) == hbmsim.WorkloadFingerprint(b))
+	fmt.Println("renumbered IDs, same key:", hbmsim.WorkloadFingerprint(a) == hbmsim.WorkloadFingerprint(c))
+	// Output:
+	// different structure, same key: false
+	// renumbered IDs, same key: true
+}

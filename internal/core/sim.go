@@ -224,6 +224,17 @@ func (s *Sim) Tick() model.Tick { return s.tick }
 // Done reports whether every core has finished.
 func (s *Sim) Done() bool { return s.doneN == len(s.cores) }
 
+// Remaining returns the number of references not yet served across all
+// cores. On a simulator resumed from a snapshot it reflects the restored
+// cursors, which lets callers report monotone progress across restarts.
+func (s *Sim) Remaining() int {
+	n := 0
+	for i := range s.cores {
+		n += len(s.cores[i].trace) - s.cores[i].pos
+	}
+	return n
+}
+
 // Step executes one tick and reports whether the simulation should
 // continue (false once all cores are done or the tick cap is hit).
 func (s *Sim) Step() bool {

@@ -95,6 +95,15 @@ type Server struct {
 	prog *Progress
 	srv  *http.Server
 	ln   net.Listener
+
+	extraMu sync.Mutex
+	extra   []extraRoute
+}
+
+// extraRoute is a caller-mounted handler (see Handle).
+type extraRoute struct {
+	pattern string
+	h       http.Handler
 }
 
 // New builds a server over the given registry and progress tracker (either
@@ -103,10 +112,24 @@ func New(reg *metrics.Registry, prog *Progress) *Server {
 	return &Server{reg: reg, prog: prog}
 }
 
+// Handle mounts an additional handler on the server — cmd/hbmserved uses
+// it to expose the job API beside /metrics and /progress. Patterns use
+// net/http.ServeMux syntax and must be registered before Start/Handler.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.extraMu.Lock()
+	defer s.extraMu.Unlock()
+	s.extra = append(s.extra, extraRoute{pattern: pattern, h: h})
+}
+
 // Handler returns the server's routing table — also usable directly under
 // httptest.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	s.extraMu.Lock()
+	for _, e := range s.extra {
+		mux.Handle(e.pattern, e.h)
+	}
+	s.extraMu.Unlock()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/vars", s.handleVars)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

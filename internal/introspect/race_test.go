@@ -1,0 +1,120 @@
+package introspect
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"hbmsim/internal/metrics"
+)
+
+// TestConcurrentScrapeAndChurn hammers every read endpoint while worker
+// goroutines mutate the registry and the progress tracker, pinning that
+// /metrics, /progress, and /debug/vars never race with live updates.
+// Run under `make test-race`; the race detector is the assertion.
+func TestConcurrentScrapeAndChurn(t *testing.T) {
+	reg := metrics.NewRegistry()
+	prog := &Progress{}
+	srv := httptest.NewServer(New(reg, prog).Handler())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Churners: counters/gauges/histograms plus progress updates, the mix
+	// a live sweep produces. New instruments register mid-flight too —
+	// scrapes must tolerate a growing registry.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("churn_total", "events")
+			g := reg.Gauge("churn_depth", "depth")
+			h := reg.Histogram("churn_seconds", "latency", metrics.ExpBuckets(0.001, 2, 10))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Inc()
+				h.Observe(float64(i%7) * 0.003)
+				g.Dec()
+				prog.Update(i, 1000, i%3, time.Duration(i)*time.Millisecond, 0)
+				if i%100 == w {
+					prog.SetPhase("phase", 1000)
+					reg.Counter("late_total", "registered mid-scrape").Inc()
+				}
+			}
+		}(w)
+	}
+
+	// Scrapers: concurrent readers over every introspection endpoint.
+	paths := []string{"/metrics", "/progress", "/debug/vars", "/"}
+	for _, path := range paths {
+		for r := 0; r < 2; r++ {
+			wg.Add(1)
+			go func(path string) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					resp, err := srv.Client().Get(srv.URL + path)
+					if err != nil {
+						t.Errorf("%s: %v", path, err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("%s: status %d", path, resp.StatusCode)
+						return
+					}
+				}
+			}(path)
+		}
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestHandleMountsBeforeStart pins the Handle contract used by
+// cmd/hbmserved: extra routes are served alongside the built-ins and
+// are concurrency-safe to scrape.
+func TestHandleMountsBeforeStart(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := New(reg, nil)
+	s.Handle("/jobs", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("[]"))
+	}))
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "[]" {
+		t.Fatalf("mounted route body %q", body)
+	}
+	// Built-ins still there.
+	resp, err = srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d after Handle", resp.StatusCode)
+	}
+}

@@ -49,6 +49,13 @@ func (g *Gauge) Set(n int64) { g.v.Store(n) }
 // Add adds n (negative to decrement).
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
+// Inc adds one. Convenience for occupancy gauges (queue depth, running
+// jobs) that move by single admissions and completions.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 

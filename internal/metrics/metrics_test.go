@@ -24,6 +24,12 @@ func TestCounterGauge(t *testing.T) {
 	if got := g.Value(); got != 2 {
 		t.Fatalf("gauge = %d, want 2", got)
 	}
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge after Inc/Inc/Dec = %d, want 3", got)
+	}
 }
 
 func TestHistogramBuckets(t *testing.T) {

@@ -1,0 +1,406 @@
+// Package serve implements the long-running simulation job service behind
+// cmd/hbmserved: an HTTP front door that accepts simulation, sweep, and
+// experiment jobs as JSON, runs them on a bounded worker pool, and survives
+// crashes.
+//
+// The service composes the repo's existing robustness machinery instead of
+// inventing new state: every accepted job is appended to an fsynced
+// manifest journal before the submitter gets an ID, sweep jobs record each
+// completed row through sweep.Journal, and long single simulations
+// checkpoint periodically through core.Checkpoint. A process killed at any
+// point — including SIGKILL — restarts with the same state directory,
+// re-enqueues every unfinished job, and finishes them with results
+// bit-identical to an uninterrupted run (the determinism guarantees come
+// from the journal/checkpoint layers; serve only routes work through
+// them).
+//
+// Robustness properties, in one place:
+//
+//   - Admission is bounded: when the queue of not-yet-running jobs is
+//     full, Submit returns ErrQueueFull and the HTTP layer answers
+//     429 with a Retry-After header. Jobs are journaled before they are
+//     acknowledged, so an acknowledged job is never lost.
+//   - Every job runs under a context: DELETE /jobs/{id} cancels it, a
+//     per-job deadline (Spec.TimeoutSeconds) fails it, and a worker panic
+//     is captured into the job's error instead of crashing the service.
+//   - Graceful shutdown (Drain) stops admission and lets running jobs
+//     finish; when the drain deadline expires, in-flight jobs are
+//     interrupted WITHOUT a terminal manifest record, so the next start
+//     resumes them from their journal or snapshot.
+//
+// See DESIGN.md §12 for the request lifecycle and the recovery
+// invariants, and OPERATIONS.md for the operator's view.
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"hbmsim/internal/arbiter"
+	"hbmsim/internal/core"
+	"hbmsim/internal/experiments"
+	"hbmsim/internal/model"
+	"hbmsim/internal/replacement"
+	"hbmsim/internal/trace"
+	"hbmsim/internal/workloads"
+)
+
+// Kind discriminates the job types the service runs.
+type Kind string
+
+const (
+	// KindSim is one simulation of one (config, workload) point; long
+	// runs checkpoint periodically via core.Checkpoint and resume after a
+	// crash.
+	KindSim Kind = "sim"
+	// KindSweep is a list of (config, workload) points fanned out over
+	// sweep.RunContext; completed rows land in a per-job sweep.Journal
+	// and a crashed job re-runs only its unfinished points.
+	KindSweep Kind = "sweep"
+	// KindExperiment runs one registered experiment from
+	// internal/experiments (any id `hbmsweep -list` prints); its internal
+	// sweeps are journaled like KindSweep jobs.
+	KindExperiment Kind = "experiment"
+)
+
+// State is a job's lifecycle state. Transitions are strictly
+// queued → running → one of the terminal states (done, failed,
+// cancelled); a crash rewinds a running job to queued on restart.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// ConfigSpec is the JSON form of core.Config. Policy kinds are strings
+// ("fifo", "priority", ...) validated against the simulator's known
+// kinds; zero-valued fields take the simulator's documented defaults.
+type ConfigSpec struct {
+	HBMSlots     int    `json:"hbm_slots"`
+	Channels     int    `json:"channels,omitempty"`
+	Arbiter      string `json:"arbiter,omitempty"`
+	Replacement  string `json:"replacement,omitempty"`
+	Mapping      string `json:"mapping,omitempty"`
+	Permuter     string `json:"permuter,omitempty"`
+	RemapPeriod  uint64 `json:"remap_period,omitempty"`
+	FetchLatency int    `json:"fetch_latency,omitempty"`
+	Seed         int64  `json:"seed,omitempty"`
+	MaxTicks     uint64 `json:"max_ticks,omitempty"`
+}
+
+// Config converts the spec to a core.Config, validating every named
+// policy kind against the simulator's registries. Channels defaults to 1
+// (the paper's single far channel), matching `hbmsim -q`; the remaining
+// zero fields take core.Config's own defaults.
+func (c ConfigSpec) Config() (core.Config, error) {
+	channels := c.Channels
+	if channels == 0 {
+		channels = 1
+	}
+	cfg := core.Config{
+		HBMSlots:     c.HBMSlots,
+		Channels:     channels,
+		Arbiter:      arbiter.Kind(c.Arbiter),
+		Replacement:  replacement.Kind(c.Replacement),
+		Mapping:      core.Mapping(c.Mapping),
+		Permuter:     arbiter.PermuterKind(c.Permuter),
+		RemapPeriod:  model.Tick(c.RemapPeriod),
+		FetchLatency: c.FetchLatency,
+		Seed:         c.Seed,
+		MaxTicks:     model.Tick(c.MaxTicks),
+	}
+	if c.Arbiter != "" && !containsKind(arbiter.Kinds(), cfg.Arbiter) {
+		return cfg, fmt.Errorf("serve: unknown arbiter %q (known: %v)", c.Arbiter, arbiter.Kinds())
+	}
+	if c.Replacement != "" && !containsKind(replacement.Kinds(), cfg.Replacement) {
+		return cfg, fmt.Errorf("serve: unknown replacement %q (known: %v)", c.Replacement, replacement.Kinds())
+	}
+	if c.Mapping != "" && !containsKind(core.Mappings(), cfg.Mapping) {
+		return cfg, fmt.Errorf("serve: unknown mapping %q (known: %v)", c.Mapping, core.Mappings())
+	}
+	if c.Permuter != "" && !containsKind(arbiter.PermuterKinds(), cfg.Permuter) {
+		return cfg, fmt.Errorf("serve: unknown permuter %q (known: %v)", c.Permuter, arbiter.PermuterKinds())
+	}
+	return cfg, nil
+}
+
+func containsKind[T comparable](known []T, k T) bool {
+	for _, v := range known {
+		if v == k {
+			return true
+		}
+	}
+	return false
+}
+
+// WorkloadSpec names a built-in workload generator plus its parameters —
+// the same vocabulary as `hbmsim -gen`. Generators are deterministic in
+// (spec, seed), which is what makes jobs replayable after a crash: the
+// restarted service rebuilds the workload from the spec and verifies it
+// against the fingerprint journaled at admission.
+type WorkloadSpec struct {
+	// Gen is the generator name: sort, spgemm, densemm, stream, bfs,
+	// adversarial, uniform, or zipf.
+	Gen string `json:"gen"`
+	// Cores is the number of per-core traces to generate.
+	Cores int `json:"cores"`
+	// Size is the generator's size knob (sort N, matrix dimension,
+	// reference count); 0 selects 8000, matching `hbmsim -gen`.
+	Size int `json:"size,omitempty"`
+	// PageBytes maps instrumented accesses to pages; 0 selects 64.
+	PageBytes int `json:"page_bytes,omitempty"`
+	// Seed drives the generator's randomness.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Build generates the workload.
+func (w WorkloadSpec) Build() (*trace.Workload, error) {
+	if w.Cores < 1 {
+		return nil, fmt.Errorf("serve: workload needs cores >= 1, got %d", w.Cores)
+	}
+	size := w.Size
+	if size == 0 {
+		size = 8000
+	}
+	pageBytes := w.PageBytes
+	if pageBytes == 0 {
+		pageBytes = 64
+	}
+	switch w.Gen {
+	case "sort":
+		return workloads.SortWorkload(w.Cores, workloads.SortConfig{N: size, PageBytes: pageBytes}, w.Seed)
+	case "spgemm":
+		return workloads.SpGEMMWorkload(w.Cores, workloads.SpGEMMConfig{N: size, PageBytes: pageBytes}, w.Seed)
+	case "densemm":
+		return workloads.DenseMMWorkload(w.Cores, workloads.DenseMMConfig{N: size, PageBytes: pageBytes}, w.Seed)
+	case "stream":
+		return workloads.StreamWorkload(w.Cores, workloads.StreamConfig{N: size, PageBytes: pageBytes}, w.Seed)
+	case "bfs":
+		return workloads.BFSWorkload(w.Cores, workloads.BFSConfig{Vertices: size, PageBytes: pageBytes}, w.Seed)
+	case "adversarial":
+		return workloads.AdversarialWorkload(w.Cores, workloads.AdversarialConfig{Pages: size})
+	case "uniform":
+		return workloads.SyntheticWorkload(w.Cores, workloads.SyntheticConfig{Kind: workloads.Uniform, Refs: size, Pages: size / 4}, w.Seed)
+	case "zipf":
+		return workloads.SyntheticWorkload(w.Cores, workloads.SyntheticConfig{Kind: workloads.Zipfian, Refs: size, Pages: size / 4}, w.Seed)
+	case "":
+		return nil, fmt.Errorf("serve: workload spec needs a generator name")
+	default:
+		return nil, fmt.Errorf("serve: unknown workload generator %q", w.Gen)
+	}
+}
+
+// Point is one configuration of a sweep job.
+type Point struct {
+	// Name labels the point in the job's rows; empty names become
+	// "point-<index>".
+	Name   string     `json:"name,omitempty"`
+	Config ConfigSpec `json:"config"`
+}
+
+// Spec is a job submission. Kind selects which fields apply:
+//
+//   - sim: Workload + Config (+ CheckpointEveryTicks)
+//   - sweep: Workload + Points (+ Workers)
+//   - experiment: Experiment (+ Full, Seed, Workers)
+//
+// TimeoutSeconds applies to every kind.
+type Spec struct {
+	Kind Kind `json:"kind"`
+	// Name labels the job in listings; optional.
+	Name string `json:"name,omitempty"`
+
+	// Workload is the input for sim and sweep jobs.
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+
+	// Config is the sim job's configuration.
+	Config *ConfigSpec `json:"config,omitempty"`
+	// CheckpointEveryTicks overrides the service's default snapshot
+	// cadence for this sim job (0 = service default).
+	CheckpointEveryTicks uint64 `json:"checkpoint_every_ticks,omitempty"`
+
+	// Points are the sweep job's configurations, all run against
+	// Workload.
+	Points []Point `json:"points,omitempty"`
+	// Workers bounds the job's internal sweep parallelism (0 = service
+	// default).
+	Workers int `json:"workers,omitempty"`
+
+	// Experiment names a registered experiment id (see `hbmsweep -list`).
+	Experiment string `json:"experiment,omitempty"`
+	// Full selects paper-scale experiment parameters (slow).
+	Full bool `json:"full,omitempty"`
+	// Seed seeds the experiment's workloads and policies (0 = 1).
+	Seed int64 `json:"seed,omitempty"`
+
+	// TimeoutSeconds is the job's running-time deadline; 0 means no
+	// deadline. A job that exceeds it fails with a deadline error.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// Validate checks the spec is complete and internally consistent for its
+// kind, without building workloads.
+func (s *Spec) Validate() error {
+	switch s.Kind {
+	case KindSim:
+		if s.Workload == nil || s.Config == nil {
+			return fmt.Errorf("serve: sim job needs both workload and config")
+		}
+		if len(s.Points) > 0 || s.Experiment != "" {
+			return fmt.Errorf("serve: sim job cannot carry points or an experiment")
+		}
+		if _, err := s.Config.Config(); err != nil {
+			return err
+		}
+	case KindSweep:
+		if s.Workload == nil {
+			return fmt.Errorf("serve: sweep job needs a workload")
+		}
+		if len(s.Points) == 0 {
+			return fmt.Errorf("serve: sweep job needs at least one point")
+		}
+		if s.Config != nil || s.Experiment != "" {
+			return fmt.Errorf("serve: sweep job cannot carry a top-level config or an experiment")
+		}
+		for i := range s.Points {
+			if _, err := s.Points[i].Config.Config(); err != nil {
+				return fmt.Errorf("point %d: %w", i, err)
+			}
+		}
+	case KindExperiment:
+		if s.Experiment == "" {
+			return fmt.Errorf("serve: experiment job needs an experiment id")
+		}
+		if s.Workload != nil || s.Config != nil || len(s.Points) > 0 {
+			return fmt.Errorf("serve: experiment job carries only experiment options")
+		}
+		if _, err := experiments.Get(s.Experiment); err != nil {
+			return err
+		}
+	case "":
+		return fmt.Errorf("serve: job spec needs a kind (sim, sweep, or experiment)")
+	default:
+		return fmt.Errorf("serve: unknown job kind %q", s.Kind)
+	}
+	if s.TimeoutSeconds < 0 {
+		return fmt.Errorf("serve: timeout_seconds must be >= 0")
+	}
+	return nil
+}
+
+// PointName returns the sweep point's display name.
+func (s *Spec) PointName(i int) string {
+	if s.Points[i].Name != "" {
+		return s.Points[i].Name
+	}
+	return fmt.Sprintf("point-%d", i)
+}
+
+// Fingerprint hashes the job's identity with the same primitives the
+// checkpoint format uses: core.WorkloadHash over the built traces and
+// core.ConfigHash over every defaulted configuration, folded together
+// with FNV-1a. The manifest stores it at admission; recovery recomputes
+// it from the spec and refuses to resume a job whose inputs no longer
+// reproduce (a changed generator, a renamed point, an edited config), so
+// journal/snapshot rows can never be replayed into a different job.
+//
+// wl may be nil for experiment jobs, whose identity is the spec itself
+// (experiments build their own workloads from Seed internally).
+func (s *Spec) Fingerprint(wl *trace.Workload) (uint64, error) {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "kind=%s|", s.Kind)
+	switch s.Kind {
+	case KindSim:
+		cfg, err := s.Config.Config()
+		if err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(h, "cfg=%016x|wl=%016x", core.ConfigHash(cfg), core.WorkloadHash(wl.Raw()))
+	case KindSweep:
+		fmt.Fprintf(h, "wl=%016x", core.WorkloadHash(wl.Raw()))
+		for i := range s.Points {
+			cfg, err := s.Points[i].Config.Config()
+			if err != nil {
+				return 0, err
+			}
+			fmt.Fprintf(h, "|%s=%016x", s.PointName(i), core.ConfigHash(cfg))
+		}
+	case KindExperiment:
+		fmt.Fprintf(h, "exp=%s|full=%t|seed=%d|workers=%d", s.Experiment, s.Full, s.Seed, s.Workers)
+	}
+	return h.Sum64(), nil
+}
+
+// RowResult is one finished point of a sweep job, in point order.
+type RowResult struct {
+	Name   string       `json:"name"`
+	Result *core.Result `json:"result,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+// TableResult is one experiment table rendered as CSV.
+type TableResult struct {
+	Title string `json:"title"`
+	CSV   string `json:"csv"`
+}
+
+// ExperimentResult is the JSON form of an experiments.Outcome.
+type ExperimentResult struct {
+	ID         string        `json:"id"`
+	Title      string        `json:"title"`
+	PaperClaim string        `json:"paper_claim"`
+	Headline   string        `json:"headline"`
+	Tables     []TableResult `json:"tables,omitempty"`
+}
+
+// Payload is a finished job's result; exactly one field is set,
+// matching the job kind.
+type Payload struct {
+	Sim        *core.Result      `json:"sim,omitempty"`
+	Rows       []RowResult       `json:"rows,omitempty"`
+	Experiment *ExperimentResult `json:"experiment,omitempty"`
+}
+
+// ProgressView is the JSON shape of a job's live progress.
+type ProgressView struct {
+	Completed      int     `json:"completed"`
+	Total          int     `json:"total"`
+	Failed         int     `json:"failed,omitempty"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	ETASeconds     float64 `json:"eta_seconds,omitempty"`
+}
+
+// View is a job's externally visible state — what GET /jobs/{id}
+// returns.
+type View struct {
+	ID    uint64 `json:"id"`
+	Name  string `json:"name,omitempty"`
+	Kind  Kind   `json:"kind"`
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+	// SubmittedUnix/StartedUnix/FinishedUnix are wall-clock seconds; zero
+	// when the phase has not been reached. Restarts reset StartedUnix.
+	SubmittedUnix int64 `json:"submitted_unix,omitempty"`
+	StartedUnix   int64 `json:"started_unix,omitempty"`
+	FinishedUnix  int64 `json:"finished_unix,omitempty"`
+	// Recovered marks a job re-enqueued by crash recovery at least once.
+	Recovered bool          `json:"recovered,omitempty"`
+	Progress  *ProgressView `json:"progress,omitempty"`
+	Result    *Payload      `json:"result,omitempty"`
+	Spec      *Spec         `json:"spec,omitempty"`
+}
+
+// sortViews orders views by ID ascending.
+func sortViews(vs []View) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i].ID < vs[j].ID })
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// manifest is the service's append-only job journal: one JSON line per
+// event (submission, start, terminal outcome), fsynced before the event
+// is acknowledged. It is the single source of truth for crash recovery —
+// a job is exactly as durable as its manifest records:
+//
+//   - a "submit" record with no terminal record is an unfinished job;
+//     restart re-enqueues it (running jobs rewind to queued and resume
+//     from their sweep journal or checkpoint snapshot);
+//   - a terminal record ("done"/"failed"/"cancelled") freezes the job,
+//     result payload included; restart never re-runs it.
+//
+// Like sweep.Journal, the file is recovered leniently: a torn final line
+// (the process died mid-append) is truncated away and every intact line
+// before it is kept. Unlike sweep.Journal there is no keying — records
+// are an ordered event log replayed front to back.
+type manifest struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// manifestRecord is one line of the manifest.
+type manifestRecord struct {
+	// Op is "submit", "start", or "finish".
+	Op string `json:"op"`
+	ID uint64 `json:"id"`
+	// Spec and Fingerprint accompany "submit".
+	Spec        *Spec  `json:"spec,omitempty"`
+	Fingerprint uint64 `json:"fingerprint,omitempty"`
+	// State and the outcome fields accompany "finish".
+	State  State    `json:"state,omitempty"`
+	Error  string   `json:"error,omitempty"`
+	Result *Payload `json:"result,omitempty"`
+	// Unix is the event's wall-clock second, for operators reading the
+	// file; recovery ignores it.
+	Unix int64 `json:"unix,omitempty"`
+}
+
+// openManifest opens (creating if needed) the manifest at path, replays
+// every intact record into the returned slice, and truncates a torn
+// tail so subsequent appends start clean.
+func openManifest(path string) (*manifest, []manifestRecord, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	var (
+		recs []manifestRecord
+		good int64
+	)
+	br := bufio.NewReader(f)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			if err == io.EOF {
+				break // a partial line is a torn append; drop it
+			}
+			f.Close()
+			return nil, nil, fmt.Errorf("serve: reading manifest: %w", err)
+		}
+		var rec manifestRecord
+		if json.Unmarshal([]byte(line), &rec) != nil || rec.Op == "" || rec.ID == 0 {
+			break // a corrupt record poisons trust in everything after it
+		}
+		recs = append(recs, rec)
+		good += int64(len(line))
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("serve: truncating manifest tail: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &manifest{f: f}, recs, nil
+}
+
+// append writes one record and syncs it to stable storage. The record is
+// durable when append returns — the caller may then acknowledge the
+// event to the submitter.
+func (m *manifest) append(rec manifestRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("serve: encoding manifest record: %w", err)
+	}
+	line = append(line, '\n')
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.f.Write(line); err != nil {
+		return fmt.Errorf("serve: appending manifest record: %w", err)
+	}
+	if err := m.f.Sync(); err != nil {
+		return fmt.Errorf("serve: syncing manifest: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file. Appending after Close fails.
+func (m *manifest) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.f.Close()
+}

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"hbmsim/internal/core"
+	"hbmsim/internal/model"
+	"hbmsim/internal/sweep"
+	"hbmsim/internal/trace"
+)
+
+// runSim executes a single-simulation job with a periodic atomic
+// checkpoint: every CheckpointEvery ticks the full simulator state is
+// snapshotted to job-<id>.snap (tmp + fsync + rename, so a crash cannot
+// tear it), and a restarted service resumes from the snapshot instead of
+// re-simulating from tick zero. Determinism comes from core.Resume: the
+// resumed simulator replays the identical event stream, so the final
+// Result is bit-identical to an uninterrupted run.
+func (s *Service) runSim(ctx context.Context, j *job) (*Payload, error) {
+	wl, err := j.spec.Workload.Build()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.checkFingerprint(j, wl); err != nil {
+		return nil, err
+	}
+	cfg, err := j.spec.Config.Config()
+	if err != nil {
+		return nil, err
+	}
+	snapPath := s.jobFile(j.id, ".snap")
+	sim, err := s.buildSim(cfg, wl, snapPath)
+	if err != nil {
+		return nil, err
+	}
+	every := model.Tick(s.checkpointEvery(j))
+
+	obs := &simProgress{svc: s, job: j, total: int(wl.TotalRefs()), start: time.Now()}
+	sim.SetObserver(obs)
+	// The resumed simulator does not replay past serves; count them as
+	// already completed so progress is monotone across restarts.
+	obs.served = servedSoFar(sim, wl)
+
+	const ctxCheckMask = 1<<12 - 1 // poll ctx every 4096 ticks
+	var steps uint64
+	for sim.Step() {
+		if every > 0 && sim.Tick()%every == 0 {
+			if err := writeSnapshot(sim, snapPath); err != nil {
+				return nil, err
+			}
+		}
+		steps++
+		if steps&ctxCheckMask == 0 && ctx.Err() != nil {
+			// Interrupted: snapshot once more so a resume loses at most
+			// nothing (user cancels discard the job anyway; shutdowns
+			// restart exactly here).
+			if err := writeSnapshot(sim, snapPath); err != nil {
+				return nil, err
+			}
+			return nil, context.Cause(ctx)
+		}
+	}
+	obs.flush(true)
+	res := sim.Result()
+	if res.Truncated {
+		return &Payload{Sim: res}, fmt.Errorf("simulation truncated at max_ticks=%d before all cores finished", cfg.MaxTicks)
+	}
+	return &Payload{Sim: res}, nil
+}
+
+// buildSim constructs the job's simulator, resuming from its snapshot
+// when one exists (the crash-recovery path); a missing snapshot is a
+// fresh start, and a snapshot that fails to load fails the job rather
+// than silently recomputing — the mismatch means the spec changed.
+func (s *Service) buildSim(cfg core.Config, wl *trace.Workload, snapPath string) (*core.Sim, error) {
+	f, err := os.Open(snapPath)
+	if os.IsNotExist(err) {
+		return core.New(cfg, wl.Raw())
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sim, err := core.Resume(f, cfg, wl.Raw())
+	if err != nil {
+		return nil, fmt.Errorf("resuming %s: %w", snapPath, err)
+	}
+	return sim, nil
+}
+
+// writeSnapshot checkpoints the simulator atomically: temp file, fsync,
+// rename. A crash mid-write leaves the previous snapshot intact.
+func writeSnapshot(sim *core.Sim, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := sim.Checkpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// servedSoFar estimates references already served before this (resumed)
+// run from the simulator's per-core cursors.
+func servedSoFar(sim *core.Sim, wl *trace.Workload) int {
+	total := int(wl.TotalRefs())
+	rem := sim.Remaining()
+	if rem > total {
+		return 0
+	}
+	return total - rem
+}
+
+// simProgress counts serves and pushes throttled progress updates into
+// the job (and from there to SSE subscribers and /progress).
+type simProgress struct {
+	core.NopObserver
+	svc    *Service
+	job    *job
+	served int
+	total  int
+	start  time.Time
+	ticks  uint64
+}
+
+func (p *simProgress) OnServe(model.CoreID, model.PageID, model.Tick, model.Tick) {
+	p.served++
+}
+
+func (p *simProgress) OnTickEnd(model.Tick, int, int) {
+	p.ticks++
+	if p.ticks&(1<<14-1) == 0 { // every 16384 ticks
+		p.flush(false)
+	}
+}
+
+// flush publishes the current counts as a sweep.Progress (the service's
+// single progress currency).
+func (p *simProgress) flush(final bool) {
+	elapsed := time.Since(p.start)
+	prog := sweep.Progress{Completed: p.served, Total: p.total, Elapsed: elapsed}
+	if final {
+		prog.Completed = p.total
+	} else if p.served > 0 && p.served < p.total {
+		perRef := elapsed / time.Duration(p.served)
+		prog.ETA = perRef * time.Duration(p.total-p.served)
+	}
+	p.svc.pushProgress(p.job, prog)
+}
