@@ -8,7 +8,7 @@ BENCHTIME ?= 0.5s
 # Each benchmark runs BENCH_COUNT times and benchjson keeps the fastest
 # run, so snapshots (and the bench-diff gate) resist machine noise.
 BENCH_COUNT ?= 3
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR6.json
 # bench-diff compares the previous PR's committed snapshot against the
 # current one and fails on regressions past BENCH_THRESHOLD percent.
 # 25% rather than benchjson's 15% default: cross-binary comparisons of
@@ -16,14 +16,21 @@ BENCH_OUT ?= BENCH_PR5.json
 # (linking new packages moves hot loops across cache-line boundaries),
 # and allocs/op — which is deterministic — is still gated tightly by the
 # same threshold.
-BENCH_BASE ?= BENCH_PR4.json
+BENCH_BASE ?= BENCH_PR5.json
 BENCH_THRESHOLD ?= 25
 
 # fuzz-smoke runs each fuzzer briefly inside `make check`; the standalone
 # `fuzz` target digs longer.
 SMOKE_FUZZTIME ?= 5s
 
-.PHONY: all check build vet test test-short test-race bench bench-json bench-diff profile fuzz fuzz-smoke docsmoke repro repro-full figures clean
+# cover knobs: the overall floor is deliberately conservative; the
+# per-package floors cover the optimality-telemetry layer this repo's
+# correctness argument leans on hardest.
+COVER_OUT ?= coverage.out
+COVER_FLOOR ?= 70
+COVER_FLOOR_PKGS ?= hbmsim/internal/lowerbound hbmsim/internal/stackdist hbmsim/internal/telemetry hbmsim/internal/metrics
+
+.PHONY: all check build vet test test-short test-race bench bench-json bench-diff cover profile fuzz fuzz-smoke docsmoke repro repro-full figures clean
 
 all: build vet test test-race
 
@@ -69,6 +76,25 @@ bench-json:
 bench-diff:
 	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_THRESHOLD) $(BENCH_BASE) $(BENCH_OUT)
 
+# Coverage gate: one instrumented test run producing $(COVER_OUT), then
+# per-package floors on the packages the optimality-telemetry argument
+# rests on. Inspect hot spots with `go tool cover -html=$(COVER_OUT)`.
+cover:
+	$(GO) test -coverprofile=$(COVER_OUT) ./... > $(COVER_OUT).txt || { cat $(COVER_OUT).txt; rm -f $(COVER_OUT).txt; exit 1; }
+	@cat $(COVER_OUT).txt
+	@ok=1; \
+	for pkg in $(COVER_FLOOR_PKGS); do \
+		pct=$$(awk -v p="$$pkg" '$$1 == "ok" && $$2 == p { for (i = 1; i <= NF; i++) if ($$i ~ /%/) { sub(/%/, "", $$i); print $$i } }' $(COVER_OUT).txt); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage line for $$pkg"; ok=0; continue; fi; \
+		if awk -v c="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(c + 0 < f + 0) }'; then \
+			echo "cover: FAIL $$pkg at $$pct% is below the $(COVER_FLOOR)% floor"; ok=0; \
+		else \
+			echo "cover: ok   $$pkg $$pct% (floor $(COVER_FLOOR)%)"; \
+		fi; \
+	done; \
+	rm -f $(COVER_OUT).txt; \
+	[ $$ok -eq 1 ]
+
 # CPU and heap profiles of the priority-arbiter simulator benchmark, the
 # tick kernel's hottest configuration. Inspect with
 # `go tool pprof profiles/cpu.out`.
@@ -99,7 +125,7 @@ fuzz-smoke:
 # the tree — Go examples compile, documented flags exist, make targets
 # resolve. See cmd/docsmoke.
 docsmoke:
-	$(GO) run ./cmd/docsmoke README.md EXPERIMENTS.md OPERATIONS.md
+	$(GO) run ./cmd/docsmoke README.md EXPERIMENTS.md OPERATIONS.md DESIGN.md
 
 # Regenerate every table and figure (laptop scale, ~4 minutes).
 repro:

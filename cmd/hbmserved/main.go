@@ -54,6 +54,8 @@ func run() int {
 		ckptEvery  = flag.Uint64("checkpoint-every", 4<<20, "sim-job snapshot cadence in ticks (0 disables periodic checkpoints)")
 		drainT     = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before in-flight jobs are interrupted (they resume on restart)")
 		logLevel   = flag.String("log-level", "info", "structured-log level: debug|info|warn|error")
+		optGap     = flag.Bool("optgap", false, "track live optimality telemetry for sim jobs: competitive_ratio gauge on /metrics plus a per-job optgap snapshot in GET /jobs/{id} and the SSE stream")
+		optGapWin  = flag.Uint64("optgap-window", 0, "optimality snapshot cadence in ticks (0 = 4096)")
 	)
 	flag.Parse()
 	if _, err := introspect.SetupLogging(os.Stderr, *logLevel); err != nil {
@@ -76,6 +78,8 @@ func run() int {
 		CheckpointEvery: *ckptEvery,
 		Metrics:         reg,
 		OnUpdate:        mirror.onUpdate,
+		TrackOptGap:     *optGap,
+		OptGapWindow:    *optGapWin,
 	})
 	if err != nil {
 		slog.Error("opening job service", "err", err)

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMainHelperProcess re-execs this test binary as the hbmsim CLI when
+// the env gate is set: everything after "--" becomes the CLI's argv.
+// It is a helper for the process-level tests below, not a test itself.
+func TestMainHelperProcess(t *testing.T) {
+	if os.Getenv("HBMSIM_HELPER_MAIN") != "1" {
+		t.Skip("helper for process-level exit-code tests")
+	}
+	args := []string{"hbmsim"}
+	for i, a := range os.Args {
+		if a == "--" {
+			args = append(args, os.Args[i+1:]...)
+			break
+		}
+	}
+	os.Args = args
+	main()
+	os.Exit(0)
+}
+
+// runCLI runs the hbmsim CLI in a child process and returns its combined
+// output and exit error (nil on exit 0).
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], append([]string{"-test.run=TestMainHelperProcess", "--"}, args...)...)
+	cmd.Env = append(os.Environ(), "HBMSIM_HELPER_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// TestStreamingSinkErrorExitsNonzero pins the flush-path contract from
+// the CLI boundary: when a streaming sink swallows writes (/dev/full
+// returns ENOSPC on flush), the process must exit nonzero with a
+// one-line error naming the problem — never exit 0 leaving a silent
+// partial file.
+func TestStreamingSinkErrorExitsNonzero(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available on this system")
+	}
+	for _, tc := range []struct{ name, flag string }{
+		{"events", "-events"},
+		{"perfetto", "-perfetto"},
+		{"optgap-csv", "-optgap-csv"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := runCLI(t, "-gen", "stream", "-cores", "2", "-size", "3000",
+				"-k", "64", tc.flag, "/dev/full")
+			if err == nil {
+				t.Fatalf("%s to /dev/full exited 0; output:\n%s", tc.flag, out)
+			}
+			var ee *exec.ExitError
+			if !errors.As(err, &ee) {
+				t.Fatalf("running CLI: %v", err)
+			}
+			if !strings.Contains(out, "hbmsim:") {
+				t.Fatalf("no one-line hbmsim error on stderr; output:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestCLISuccessPathsExitZero is the helper's own sanity check plus the
+// happy flush path: the same flags against writable files exit 0 and
+// leave non-empty outputs.
+func TestCLISuccessPathsExitZero(t *testing.T) {
+	dir := t.TempDir()
+	events := filepath.Join(dir, "events.csv")
+	optgap := filepath.Join(dir, "optgap.csv")
+	out, err := runCLI(t, "-gen", "stream", "-cores", "2", "-size", "1000",
+		"-k", "64", "-events", events, "-optgap-csv", optgap, "-optgap-window", "32")
+	if err != nil {
+		t.Fatalf("CLI failed: %v\noutput:\n%s", err, out)
+	}
+	for _, p := range []string{events, optgap} {
+		fi, err := os.Stat(p)
+		if err != nil || fi.Size() == 0 {
+			t.Fatalf("%s missing or empty after a clean exit (err=%v)", p, err)
+		}
+	}
+	if !strings.Contains(out, "Live optimality telemetry") {
+		t.Fatalf("report lacks the optimality table; output:\n%s", out)
+	}
+}

@@ -47,6 +47,9 @@ func main() {
 		perfetto  = flag.String("perfetto", "", "write a Chrome trace-event JSON for ui.perfetto.dev to this file")
 		heatTop   = flag.Int("heatmap", 0, "print the N hottest pages by fetch count")
 		watchGap  = flag.Uint64("watchdog", 0, "flag starvation episodes with serve gaps above this many ticks")
+		optGap    = flag.Bool("optgap", false, "track live optimality telemetry: streaming makespan lower bound, miss-ratio curve, competitive_ratio gauge (scrape with -http)")
+		optGapWin = flag.Uint64("optgap-window", 0, "optimality snapshot cadence in ticks (0 = 4096)")
+		optGapCSV = flag.String("optgap-csv", "", "write the windowed optimality series as CSV to this file (implies -optgap)")
 		httpAddr  = flag.String("http", "", "serve /metrics, /progress, /debug/vars, /debug/pprof on this address while the run executes (empty = no listener)")
 		logLevel  = flag.String("log-level", "info", "structured-log level: debug|info|warn|error")
 		ckptEvery = flag.Uint64("checkpoint-every", 0, "write a resumable snapshot every N ticks (0 = never); requires -checkpoint-file")
@@ -102,6 +105,9 @@ func main() {
 		perfettoPath:    *perfetto,
 		heatTop:         *heatTop,
 		watchGap:        hbmsim.Tick(*watchGap),
+		optGap:          *optGap || *optGapCSV != "",
+		optGapWindow:    hbmsim.Tick(*optGapWin),
+		optGapCSV:       *optGapCSV,
 		checkpointEvery: hbmsim.Tick(*ckptEvery),
 		checkpointPath:  *ckptFile,
 		resumePath:      *resume,

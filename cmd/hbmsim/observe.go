@@ -22,6 +22,13 @@ type telemetryOptions struct {
 	heatTop      int
 	watchGap     hbmsim.Tick
 
+	// optGap attaches the live optimality tracker (streaming lower bound,
+	// miss-ratio curve, competitive_ratio gauge); optGapWindow is its
+	// snapshot cadence and optGapCSV an optional window-series output.
+	optGap       bool
+	optGapWindow hbmsim.Tick
+	optGapCSV    string
+
 	// checkpointEvery/checkpointPath enable periodic snapshots from the
 	// tick loop (plus one final snapshot at completion); resumePath
 	// restores the run from an earlier snapshot before the first Step.
@@ -38,7 +45,7 @@ type telemetryOptions struct {
 
 func (t telemetryOptions) enabled() bool {
 	return t.eventsPath != "" || t.timelinePath != "" || t.perfettoPath != "" ||
-		t.heatTop > 0 || t.watchGap > 0 || t.metrics != nil ||
+		t.heatTop > 0 || t.watchGap > 0 || t.metrics != nil || t.optGap ||
 		t.checkpointEvery > 0 || t.resumePath != ""
 }
 
@@ -78,9 +85,11 @@ type collectors struct {
 	timeline *hbmsim.Timeline
 	heatmap  *hbmsim.Heatmap
 	watchdog *hbmsim.StarvationWatchdog
+	tracker  *hbmsim.OptTracker
 
 	timelinePath string
 	heatTop      int
+	optGapCSV    string
 }
 
 // runObserved drives a stepwise simulation with the requested telemetry
@@ -140,6 +149,17 @@ func runObserved(cfg hbmsim.Config, wl *hbmsim.Workload, opts telemetryOptions) 
 		col.watchdog = hbmsim.NewStarvationWatchdog(opts.watchGap)
 		multi.Attach(col.watchdog)
 	}
+	if opts.optGap {
+		col.tracker = hbmsim.NewOptTracker(opts.metrics, wl.Cores(), cfg.HBMSlots, cfg.Channels, opts.optGapWindow)
+		col.optGapCSV = opts.optGapCSV
+		if perfetto != nil {
+			// The optimality gap as a Perfetto counter track, one sample per
+			// closed window.
+			p := perfetto
+			col.tracker.SetOnWindow(func(pt hbmsim.OptPoint) { p.EmitOptGap(pt.Tick, pt.Ratio) })
+		}
+		multi.Attach(col.tracker)
+	}
 	var prog *progressObserver
 	if opts.metrics != nil {
 		meter := hbmsim.NewMeter(opts.metrics)
@@ -153,9 +173,22 @@ func runObserved(cfg hbmsim.Config, wl *hbmsim.Workload, opts telemetryOptions) 
 	}
 
 	sim.SetObserver(multi)
+	// Dead-sink detection cadence: a latched write error on a streaming
+	// sink (a full disk, a closed pipe) aborts the run within this many
+	// ticks instead of simulating to completion and discovering the
+	// partial file at the final flush.
+	const errCheckMask = 1<<12 - 1
+	var steps uint64
 	for sim.Step() {
 		if opts.checkpointEvery > 0 && sim.Tick()%opts.checkpointEvery == 0 {
 			if err := writeCheckpoint(sim, opts.checkpointPath); err != nil {
+				closeAll()
+				return nil, nil, err
+			}
+		}
+		steps++
+		if steps&errCheckMask == 0 {
+			if err := sinkErr(events, perfetto); err != nil {
 				closeAll()
 				return nil, nil, err
 			}
@@ -198,6 +231,18 @@ func runObserved(cfg hbmsim.Config, wl *hbmsim.Workload, opts telemetryOptions) 
 			return res, nil, err
 		}
 	}
+	if col.tracker != nil && opts.optGapCSV != "" {
+		f, err := os.Create(opts.optGapCSV)
+		if err != nil {
+			closeAll()
+			return res, nil, err
+		}
+		files = append(files, f)
+		if err := col.tracker.WriteCSV(f); err != nil {
+			closeAll()
+			return res, nil, err
+		}
+	}
 	for _, f := range files {
 		if err := f.Close(); err != nil {
 			return res, nil, err
@@ -207,6 +252,23 @@ func runObserved(cfg hbmsim.Config, wl *hbmsim.Workload, opts telemetryOptions) 
 		return res, col, &hbmsim.TruncatedError{Ticks: res.Makespan, Unfinished: unfinished(res)}
 	}
 	return res, col, nil
+}
+
+// sinkErr returns the first write error latched by a streaming sink, so
+// the step loop can abort on a dead sink instead of finishing the run
+// and losing the signal in a silent partial file.
+func sinkErr(events *hbmsim.EventLog, perfetto *hbmsim.PerfettoExporter) error {
+	if events != nil {
+		if err := events.Err(); err != nil {
+			return fmt.Errorf("event log: %w", err)
+		}
+	}
+	if perfetto != nil {
+		if err := perfetto.Err(); err != nil {
+			return fmt.Errorf("perfetto trace: %w", err)
+		}
+	}
+	return nil
 }
 
 // buildSim constructs the stepwise simulator, resuming from a snapshot
@@ -316,6 +378,26 @@ func (c *collectors) report(w io.Writer) error {
 	if c.timeline != nil {
 		fmt.Fprintf(w, "\nwrote %d timeline windows (%d ticks each) to %s\n",
 			len(c.timeline.Windows()), c.timeline.WindowTicks(), c.timelinePath)
+	}
+	if c.tracker != nil {
+		fmt.Fprintln(w)
+		final := c.tracker.Snapshot()
+		tbl := report.NewTable(
+			fmt.Sprintf("Live optimality telemetry (%d windows of %d ticks)",
+				len(c.tracker.Points()), c.tracker.WindowTicks()),
+			"metric", "value")
+		tbl.AddRow("streaming lower bound (ticks)", uint64(final.LowerBound))
+		tbl.AddRow("live competitive ratio", final.Ratio)
+		tbl.AddRow("unique pages observed", final.UniquePages)
+		tbl.AddRow("miss ratio @ even HBM split", final.MissRatio)
+		tbl.AddRow("p90 stack distance (pages)", final.P90Distance)
+		if err := tbl.Render(w); err != nil {
+			return err
+		}
+		if c.optGapCSV != "" {
+			fmt.Fprintf(w, "wrote %d optimality windows to %s\n",
+				len(c.tracker.Points()), c.optGapCSV)
+		}
 	}
 	return nil
 }

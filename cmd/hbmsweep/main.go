@@ -43,6 +43,7 @@ func main() {
 		httpAddr = flag.String("http", "", "serve /metrics, /progress, /debug/vars, /debug/pprof on this address (e.g. :8080; empty = no listener)")
 		logLevel = flag.String("log-level", "info", "structured-log level: debug|info|warn|error")
 		journal  = flag.String("journal", "", "append each completed sweep row to this crash-tolerant journal file; pair with -resume to continue an interrupted run")
+		optWin   = flag.Uint64("optgap-window", 0, "snapshot cadence in ticks for experiments with live optimality tracking, e.g. -exp optgap (0 = 4096)")
 	)
 	// -resume is a bare switch: the journal file is always named by
 	// -journal, for both writing and resuming. flag.BoolFunc (instead of
@@ -87,6 +88,7 @@ func main() {
 	}
 	o.Seed = *seed
 	o.Workers = *workers
+	o.OptGapWindow = *optWin
 	if *sortN > 0 {
 		o.SortN = *sortN
 	}
@@ -149,7 +151,6 @@ func main() {
 			os.Exit(1)
 		}
 		csv = f
-		defer csv.Close()
 	}
 
 	for _, id := range ids {
@@ -179,6 +180,15 @@ func main() {
 				fmt.Fprintf(os.Stderr, "hbmsweep: %v\n", err)
 				os.Exit(1)
 			}
+		}
+	}
+	// Close is where buffered CSV bytes actually reach the disk; a full
+	// filesystem surfaces here, and a deferred unchecked Close would turn
+	// it into a silent partial file.
+	if csv != nil {
+		if err := csv.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hbmsweep: closing %s: %v\n", *csvPath, err)
+			os.Exit(1)
 		}
 	}
 }

@@ -38,6 +38,10 @@ type Options struct {
 	// ablations, chosen so the far channel is saturated (the paper's
 	// regime: large response times, visible starvation).
 	TradeoffSlots int
+	// OptGapWindow is the snapshot cadence, in ticks, for experiments that
+	// attach the live optimality tracker (the optgap experiment); 0 keeps
+	// the tracker's default (4096).
+	OptGapWindow uint64
 	// Seed drives all workload generation and policy randomness.
 	Seed int64
 	// Workers bounds sweep parallelism; <= 0 means GOMAXPROCS.

@@ -29,10 +29,18 @@ type Bounds struct {
 // cold-start bound does not depend on it.)
 func Compute(wl *trace.Workload, k, q int) Bounds {
 	_ = k
+	return FromCounts(wl.MaxTraceLen(), wl.UniquePages(), q)
+}
+
+// FromCounts returns the bounds implied by two aggregates — the longest
+// per-core reference count and the number of distinct pages — with q far
+// channels. Compute is FromCounts over the whole workload; a streaming
+// tracker that maintains the same aggregates incrementally converges to
+// the batch bounds bit-for-bit because both paths share this arithmetic.
+func FromCounts(maxPerCoreRefs, uniquePages, q int) Bounds {
 	var b Bounds
-	b.SerialRefs = model.Tick(wl.MaxTraceLen())
-	unique := wl.UniquePages()
-	b.ColdMisses = model.Tick((uint64(unique) + uint64(q) - 1) / uint64(q))
+	b.SerialRefs = model.Tick(maxPerCoreRefs)
+	b.ColdMisses = model.Tick((uint64(uniquePages) + uint64(q) - 1) / uint64(q))
 
 	b.Makespan = b.SerialRefs
 	if b.ColdMisses > b.Makespan {

@@ -43,6 +43,27 @@ func TestComputeEmpty(t *testing.T) {
 	}
 }
 
+// TestFromCountsMatchesCompute pins the refactoring contract the
+// streaming tracker relies on: Compute is exactly FromCounts over the
+// workload's aggregates, so any tracker maintaining the same aggregates
+// incrementally lands on bit-identical bounds.
+func TestFromCountsMatchesCompute(t *testing.T) {
+	wl := trace.Raw("w", []trace.Trace{
+		{0, 1, 2, 0, 1},
+		{10, 11},
+		{20, 21, 22, 23, 24, 25, 26},
+	})
+	for _, q := range []int{1, 2, 3, 7} {
+		got := FromCounts(wl.MaxTraceLen(), wl.UniquePages(), q)
+		if want := Compute(wl, 4, q); got != want {
+			t.Errorf("q=%d: FromCounts %+v, Compute %+v", q, got, want)
+		}
+	}
+	if b := FromCounts(0, 0, 1); b.Makespan != 0 {
+		t.Errorf("empty counts bound: %+v", b)
+	}
+}
+
 func TestRatio(t *testing.T) {
 	b := Bounds{Makespan: 100}
 	if got := Ratio(250, b); got != 2.5 {

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestMetricNamingConformance scans every non-test Go file in the module
+// for instrument registrations (string-literal first arguments to
+// .Counter / .Gauge / .FloatGauge / .Histogram calls) and enforces the
+// repo's naming rules:
+//
+//   - snake_case: ^[a-z][a-z0-9_]*$ (no camelCase, no leading digits)
+//   - counters end in _total (Prometheus convention for monotone series)
+//   - histograms carry a unit suffix so dashboards don't have to guess
+//   - a name is registered with exactly one kind, and only by one
+//     package — two packages sharing a name would collide in any process
+//     that wires both into one registry (hbmserved does)
+//
+// The scan is syntactic on purpose: it needs no build tags, runs in
+// milliseconds, and catches a bad name at `go test` time instead of on a
+// dashboard.
+func TestMetricNamingConformance(t *testing.T) {
+	root := moduleRoot(t)
+	nameRE := regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+	unitSuffixes := []string{"_ticks", "_seconds", "_bytes", "_pages", "_refs", "_ratio"}
+
+	type site struct {
+		kind string
+		pos  string
+		pkg  string
+	}
+	seen := map[string][]site{}
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || name == "vendor" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kind := sel.Sel.Name
+			switch kind {
+			case "Counter", "Gauge", "FloatGauge", "Histogram":
+			default:
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			rel, _ := filepath.Rel(root, path)
+			seen[name] = append(seen[name], site{
+				kind: kind,
+				pos:  rel + ":" + strconv.Itoa(fset.Position(lit.Pos()).Line),
+				pkg:  filepath.Dir(rel),
+			})
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 {
+		t.Fatal("scan found no instrument registrations; the walker is broken")
+	}
+
+	for name, sites := range seen {
+		first := sites[0]
+		if !nameRE.MatchString(name) {
+			t.Errorf("%s: metric %q is not snake_case", first.pos, name)
+		}
+		if first.kind == "Counter" && !strings.HasSuffix(name, "_total") {
+			t.Errorf("%s: counter %q must end in _total", first.pos, name)
+		}
+		if first.kind == "Histogram" {
+			ok := false
+			for _, suf := range unitSuffixes {
+				if strings.HasSuffix(name, suf) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("%s: histogram %q lacks a unit suffix (one of %v)",
+					first.pos, name, unitSuffixes)
+			}
+		}
+		for _, s := range sites[1:] {
+			if s.kind != first.kind {
+				t.Errorf("metric %q registered as %s at %s but %s at %s",
+					name, first.kind, first.pos, s.kind, s.pos)
+			}
+			if s.pkg != first.pkg {
+				t.Errorf("metric %q registered by two packages (%s and %s); names must be process-unique",
+					name, first.pos, s.pos)
+			}
+		}
+	}
+}
+
+// moduleRoot walks up from the package directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the test directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFloatGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.FloatGauge("ratio", "live ratio")
+	if got := g.Value(); got != 0 {
+		t.Fatalf("zero value = %v, want 0", got)
+	}
+	g.Set(1.375)
+	if got := g.Value(); got != 1.375 {
+		t.Fatalf("value = %v, want 1.375", got)
+	}
+	if again := r.FloatGauge("ratio", ""); again != g {
+		t.Fatal("FloatGauge is not get-or-create")
+	}
+}
+
+func TestNilRegistryFloatGauge(t *testing.T) {
+	var r *Registry
+	r.FloatGauge("x", "").Set(2.5) // must not panic
+}
+
+func TestFloatGaugeKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("y_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("float-gauge lookup of a counter name did not panic")
+		}
+	}()
+	r.FloatGauge("y_total", "")
+}
+
+func TestFloatGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	r.FloatGauge("competitive_ratio", "measured over bound").Set(1.25)
+
+	var prom strings.Builder
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# HELP competitive_ratio measured over bound\n",
+		"# TYPE competitive_ratio gauge\n",
+		"competitive_ratio 1.25\n",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("Prometheus exposition missing %q in:\n%s", want, prom.String())
+		}
+	}
+
+	var js strings.Builder
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"competitive_ratio"`, `"kind": "gauge"`, `"value": 1.25`} {
+		if !strings.Contains(js.String(), want) {
+			t.Errorf("JSON exposition missing %q in:\n%s", want, js.String())
+		}
+	}
+}
+
+func TestFloatGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := r.FloatGauge("fg", "")
+			for i := 0; i < 1000; i++ {
+				g.Set(float64(w) + float64(i)/1000)
+				_ = g.Value()
+				r.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v := r.FloatGauge("fg", "").Value(); v < 0 || v > 8 {
+		t.Fatalf("final value %v outside the written range", v)
+	}
+}

@@ -59,6 +59,20 @@ func (g *Gauge) Dec() { g.v.Add(-1) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is a float64 value that may go up and down, stored as
+// atomic bits. It exists for ratio-style instruments (a competitive
+// ratio, a miss ratio) where the integer Gauge would truncate; it is
+// exposed as a Prometheus gauge.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // Histogram counts float64 observations into fixed buckets chosen at
 // construction. Buckets are stored non-cumulatively and exposed
 // cumulatively (Prometheus convention). All methods are safe for
@@ -137,14 +151,17 @@ const (
 	KindCounter Kind = iota
 	KindGauge
 	KindHistogram
+	KindFloatGauge
 )
 
-// String returns the Prometheus TYPE keyword for the kind.
+// String returns the Prometheus TYPE keyword for the kind. Integer and
+// float gauges are both "gauge" on the wire; the distinction is purely a
+// storage choice.
 func (k Kind) String() string {
 	switch k {
 	case KindCounter:
 		return "counter"
-	case KindGauge:
+	case KindGauge, KindFloatGauge:
 		return "gauge"
 	case KindHistogram:
 		return "histogram"
@@ -190,6 +207,7 @@ type entry struct {
 	help string
 	c    *Counter
 	g    *Gauge
+	fg   *FloatGauge
 	h    *Histogram
 }
 
@@ -253,6 +271,18 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return r.create(name, help, KindGauge, func() *entry { return &entry{g: &Gauge{}} }).g
 }
 
+// FloatGauge returns the float gauge with the given name, creating it on
+// first use. A nil registry returns an unregistered throwaway instrument.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	if r == nil {
+		return &FloatGauge{}
+	}
+	if e := r.lookup(name, KindFloatGauge); e != nil {
+		return e.fg
+	}
+	return r.create(name, help, KindFloatGauge, func() *entry { return &entry{fg: &FloatGauge{}} }).fg
+}
+
 // Histogram returns the histogram with the given name, creating it with
 // the given bucket bounds on first use (later calls reuse the existing
 // layout). A nil registry returns an unregistered throwaway instrument.
@@ -292,6 +322,8 @@ func (r *Registry) Snapshot() []Snapshot {
 			s.Value = float64(e.c.Value())
 		case KindGauge:
 			s.Value = float64(e.g.Value())
+		case KindFloatGauge:
+			s.Value = e.fg.Value()
 		case KindHistogram:
 			s.Bounds = e.h.Bounds()
 			s.Cumulative = e.h.Cumulative()

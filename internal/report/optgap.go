@@ -1,0 +1,33 @@
+package report
+
+// OptGapPoint is one windowed optimality sample for reporting: the
+// simulated tick, the live competitive-ratio estimate at that tick, and
+// the cumulative miss ratio at the configured HBM size. It mirrors
+// telemetry.OptPoint without importing it, keeping report a leaf
+// package.
+type OptGapPoint struct {
+	Tick      float64
+	Ratio     float64
+	MissRatio float64
+}
+
+// OptGapSeries converts windowed optimality samples into a chart Series
+// of competitive ratio over simulated time.
+func OptGapSeries(name string, pts []OptGapPoint) Series {
+	s := Series{Name: name, X: make([]float64, len(pts)), Y: make([]float64, len(pts))}
+	for i, p := range pts {
+		s.X[i] = p.Tick
+		s.Y[i] = p.Ratio
+	}
+	return s
+}
+
+// OptGapTable renders windowed optimality samples as a table: one row
+// per window with the ratio and miss-ratio columns.
+func OptGapTable(title string, pts []OptGapPoint) *Table {
+	t := NewTable(title, "tick", "competitive ratio", "miss ratio")
+	for _, p := range pts {
+		t.AddRow(uint64(p.Tick), p.Ratio, p.MissRatio)
+	}
+	return t
+}

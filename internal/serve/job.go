@@ -371,6 +371,21 @@ type Payload struct {
 	Experiment *ExperimentResult `json:"experiment,omitempty"`
 }
 
+// OptGapView is the JSON shape of a sim job's live optimality snapshot
+// (present when the service runs with Options.TrackOptGap): how far the
+// simulation currently sits from its streaming makespan lower bound. At
+// a completed run's final update the ratio equals the batch
+// lowerbound.Ratio estimate exactly.
+type OptGapView struct {
+	CompetitiveRatio float64 `json:"competitive_ratio"`
+	LowerBoundTicks  uint64  `json:"lower_bound_ticks"`
+	MeasuredTicks    uint64  `json:"measured_ticks"`
+	UniquePages      int     `json:"unique_pages"`
+	MissRatio        float64 `json:"miss_ratio"`
+	P90StackDistance int64   `json:"p90_stack_distance"`
+	Windows          int     `json:"windows"`
+}
+
 // ProgressView is the JSON shape of a job's live progress.
 type ProgressView struct {
 	Completed      int     `json:"completed"`
@@ -396,8 +411,11 @@ type View struct {
 	// Recovered marks a job re-enqueued by crash recovery at least once.
 	Recovered bool          `json:"recovered,omitempty"`
 	Progress  *ProgressView `json:"progress,omitempty"`
-	Result    *Payload      `json:"result,omitempty"`
-	Spec      *Spec         `json:"spec,omitempty"`
+	// OptGap is the live optimality snapshot of a running (or finished)
+	// sim job; only set when the service tracks optimality gaps.
+	OptGap *OptGapView `json:"optgap,omitempty"`
+	Result *Payload    `json:"result,omitempty"`
+	Spec   *Spec       `json:"spec,omitempty"`
 }
 
 // sortViews orders views by ID ascending.

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+
+	"hbmsim/internal/core"
+	"hbmsim/internal/lowerbound"
+	"hbmsim/internal/metrics"
+)
+
+// TestSimJobOptGapView: with TrackOptGap on, a finished sim job's view
+// carries the optimality snapshot, the competitive ratio matches the
+// batch lower-bound estimate exactly, the shared registry exposes the
+// competitive_ratio gauge — and the Result stays bit-identical to a
+// direct run (the tracker is an observer; observers are passive).
+func TestSimJobOptGapView(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := openTestService(t, t.TempDir(), func(o *Options) {
+		o.TrackOptGap = true
+		o.OptGapWindow = 64
+		o.Metrics = reg
+	})
+	defer s.Close()
+	v, err := s.Submit(testSimSpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	got := waitState(t, s, v.ID, StateDone)
+	if got.Result == nil || got.Result.Sim == nil {
+		t.Fatalf("done sim job has no result: %+v", got)
+	}
+	if got.OptGap == nil {
+		t.Fatalf("TrackOptGap job view has no optgap snapshot: %+v", got)
+	}
+
+	spec := testSimSpec()
+	wl, err := spec.Workload.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := spec.Config.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Run(cfg, wl.Raw())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Result.Sim, want) {
+		t.Errorf("tracked result differs from direct run:\n got %+v\nwant %+v", got.Result.Sim, want)
+	}
+
+	bounds := lowerbound.Compute(wl, cfg.HBMSlots, cfg.Channels)
+	og := got.OptGap
+	if og.MeasuredTicks != uint64(want.Makespan) {
+		t.Errorf("optgap measured %d ticks, makespan is %d", og.MeasuredTicks, want.Makespan)
+	}
+	if og.LowerBoundTicks != uint64(bounds.Makespan) {
+		t.Errorf("optgap lower bound %d, batch bound %d", og.LowerBoundTicks, bounds.Makespan)
+	}
+	if wantRatio := lowerbound.Ratio(want.Makespan, bounds); og.CompetitiveRatio != wantRatio {
+		t.Errorf("optgap ratio %v, batch ratio %v (must be bit-identical)", og.CompetitiveRatio, wantRatio)
+	}
+	if og.UniquePages != wl.UniquePages() {
+		t.Errorf("optgap unique pages %d, workload has %d", og.UniquePages, wl.UniquePages())
+	}
+	if og.Windows == 0 {
+		t.Error("no optimality windows closed despite the 64-tick cadence")
+	}
+	if g := reg.FloatGauge("competitive_ratio", "").Value(); g != og.CompetitiveRatio {
+		t.Errorf("competitive_ratio gauge %v, job snapshot %v", g, og.CompetitiveRatio)
+	}
+}
+
+// TestSimJobNoOptGapByDefault: without TrackOptGap the view must not
+// grow an optgap member (the field is omitempty on the wire).
+func TestSimJobNoOptGapByDefault(t *testing.T) {
+	s := openTestService(t, t.TempDir(), nil)
+	defer s.Close()
+	v, err := s.Submit(testSimSpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if got := waitState(t, s, v.ID, StateDone); got.OptGap != nil {
+		t.Fatalf("untracked job exposes an optgap snapshot: %+v", got.OptGap)
+	}
+}

@@ -66,6 +66,16 @@ type Options struct {
 	// depth, running jobs, admission/outcome counters, job wall time)
 	// plus the sweep_* instruments of every job's internal sweeps.
 	Metrics *metrics.Registry
+	// TrackOptGap attaches a live optimality tracker to every sim job:
+	// the competitive_ratio gauge and optgap_* instruments land in
+	// Metrics, and each job's View carries an OptGap snapshot (GET
+	// /jobs/{id} and the SSE stream). The shared gauges are
+	// last-writer-wins across concurrently running sim jobs; the per-job
+	// view is the authoritative figure.
+	TrackOptGap bool
+	// OptGapWindow is the optimality snapshot cadence in ticks (0 selects
+	// the tracker default, 4096).
+	OptGapWindow uint64
 	// OnUpdate, when non-nil, is called after every job state or
 	// progress change with the job's fresh view. Calls may be concurrent
 	// across jobs; keep it cheap.
@@ -109,6 +119,7 @@ type job struct {
 
 	progress  sweep.Progress
 	hasProg   bool
+	optgap    *OptGapView
 	cancel    context.CancelCauseFunc // non-nil while running
 	cancelled bool                    // user cancel requested
 
@@ -569,8 +580,19 @@ func (s *Service) jobFile(id uint64, suffix string) string {
 // pushProgress records a live progress update and fans it out to
 // subscribers and OnUpdate.
 func (s *Service) pushProgress(j *job, p sweep.Progress) {
+	s.pushSimProgress(j, p, nil)
+}
+
+// pushSimProgress is pushProgress plus the sim job's live optimality
+// snapshot, recorded under the same lock so SSE subscribers see both
+// move together. The view pointer is replaced wholesale, never mutated,
+// so readers may keep it outside the lock.
+func (s *Service) pushSimProgress(j *job, p sweep.Progress, og *OptGapView) {
 	s.mu.Lock()
 	j.progress, j.hasProg = p, true
+	if og != nil {
+		j.optgap = og
+	}
 	s.notifyLocked(j)
 	s.mu.Unlock()
 }
@@ -737,6 +759,7 @@ func (s *Service) viewLocked(j *job, withSpec, withResult bool) View {
 			ETASeconds:     j.progress.ETA.Seconds(),
 		}
 	}
+	v.OptGap = j.optgap
 	if withSpec {
 		v.Spec = j.spec
 	}

@@ -9,6 +9,7 @@ import (
 	"hbmsim/internal/core"
 	"hbmsim/internal/model"
 	"hbmsim/internal/sweep"
+	"hbmsim/internal/telemetry"
 	"hbmsim/internal/trace"
 )
 
@@ -39,7 +40,17 @@ func (s *Service) runSim(ctx context.Context, j *job) (*Payload, error) {
 	every := model.Tick(s.checkpointEvery(j))
 
 	obs := &simProgress{svc: s, job: j, total: int(wl.TotalRefs()), start: time.Now()}
-	sim.SetObserver(obs)
+	if s.opts.TrackOptGap {
+		// The tracker is attached ahead of the progress observer so its
+		// per-tick gauge refresh runs before flush snapshots it. Gauges in
+		// the shared registry are last-writer-wins across concurrent sim
+		// jobs; the per-job OptGapView published by flush is authoritative.
+		obs.tracker = telemetry.NewOptTracker(s.opts.Metrics, wl.Cores(),
+			cfg.HBMSlots, cfg.Channels, model.Tick(s.opts.OptGapWindow))
+		sim.SetObserver(core.NewMultiObserver(obs.tracker, obs))
+	} else {
+		sim.SetObserver(obs)
+	}
 	// The resumed simulator does not replay past serves; count them as
 	// already completed so progress is monotone across restarts.
 	obs.served = servedSoFar(sim, wl)
@@ -128,15 +139,17 @@ func servedSoFar(sim *core.Sim, wl *trace.Workload) int {
 }
 
 // simProgress counts serves and pushes throttled progress updates into
-// the job (and from there to SSE subscribers and /progress).
+// the job (and from there to SSE subscribers and /progress), along with
+// the live optimality snapshot when a tracker is attached.
 type simProgress struct {
 	core.NopObserver
-	svc    *Service
-	job    *job
-	served int
-	total  int
-	start  time.Time
-	ticks  uint64
+	svc     *Service
+	job     *job
+	tracker *telemetry.OptTracker
+	served  int
+	total   int
+	start   time.Time
+	ticks   uint64
 }
 
 func (p *simProgress) OnServe(model.CoreID, model.PageID, model.Tick, model.Tick) {
@@ -151,7 +164,9 @@ func (p *simProgress) OnTickEnd(model.Tick, int, int) {
 }
 
 // flush publishes the current counts as a sweep.Progress (the service's
-// single progress currency).
+// single progress currency), plus the optimality snapshot when tracked.
+// It runs on the simulation goroutine, so reading the tracker races with
+// nothing.
 func (p *simProgress) flush(final bool) {
 	elapsed := time.Since(p.start)
 	prog := sweep.Progress{Completed: p.served, Total: p.total, Elapsed: elapsed}
@@ -161,5 +176,18 @@ func (p *simProgress) flush(final bool) {
 		perRef := elapsed / time.Duration(p.served)
 		prog.ETA = perRef * time.Duration(p.total-p.served)
 	}
-	p.svc.pushProgress(p.job, prog)
+	var og *OptGapView
+	if p.tracker != nil {
+		snap := p.tracker.Snapshot()
+		og = &OptGapView{
+			CompetitiveRatio: snap.Ratio,
+			LowerBoundTicks:  uint64(snap.LowerBound),
+			MeasuredTicks:    uint64(snap.Tick),
+			UniquePages:      snap.UniquePages,
+			MissRatio:        snap.MissRatio,
+			P90StackDistance: snap.P90Distance,
+			Windows:          len(p.tracker.Points()),
+		}
+	}
+	p.svc.pushSimProgress(p.job, prog, og)
 }

@@ -22,7 +22,7 @@ import (
 //	hbmsim_evictions_total    pages evicted from HBM
 //	hbmsim_grants_total       far-channel grants issued
 //	hbmsim_remaps_total       priority permutation re-draws
-//	hbmsim_queue_depth        histogram of end-of-tick DRAM-queue depth
+//	hbmsim_queue_depth_refs   histogram of end-of-tick DRAM-queue depth
 //	hbmsim_response_ticks     histogram of per-reference response times
 //	hbmsim_grant_wait_ticks   histogram of ticks spent queued before a grant
 type Meter struct {
@@ -48,7 +48,7 @@ func NewMeter(reg *metrics.Registry) *Meter {
 		evictions: reg.Counter("hbmsim_evictions_total", "pages evicted from HBM"),
 		grants:    reg.Counter("hbmsim_grants_total", "far-channel grants issued"),
 		remaps:    reg.Counter("hbmsim_remaps_total", "priority permutation re-draws"),
-		queueDepth: reg.Histogram("hbmsim_queue_depth", "end-of-tick DRAM queue depth",
+		queueDepth: reg.Histogram("hbmsim_queue_depth_refs", "end-of-tick DRAM queue depth in queued references",
 			metrics.ExpBuckets(1, 2, 12)), // 1..2048, +Inf
 		response: reg.Histogram("hbmsim_response_ticks", "per-reference response time in ticks",
 			metrics.ExpBuckets(1, 2, 16)), // 1..32768, +Inf

@@ -51,7 +51,7 @@ func TestMeterCountsMatchResult(t *testing.T) {
 	if cum := h.Cumulative(); cum[0] != res.Hits {
 		t.Errorf("response le=1 bucket = %d, want hits %d", cum[0], res.Hits)
 	}
-	if got := reg.Histogram("hbmsim_queue_depth", "", metrics.ExpBuckets(1, 2, 12)).Count(); got != m.Ticks() {
+	if got := reg.Histogram("hbmsim_queue_depth_refs", "", metrics.ExpBuckets(1, 2, 12)).Count(); got != m.Ticks() {
 		t.Errorf("queue-depth histogram count = %d, want one per tick %d", got, m.Ticks())
 	}
 }

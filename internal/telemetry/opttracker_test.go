@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hbmsim/internal/core"
+	"hbmsim/internal/lowerbound"
+	"hbmsim/internal/metrics"
+	"hbmsim/internal/model"
+	"hbmsim/internal/stackdist"
+	"hbmsim/internal/trace"
+)
+
+func workloadOf(ts [][]model.PageID) *trace.Workload {
+	traces := make([]trace.Trace, len(ts))
+	for i, tr := range ts {
+		traces[i] = trace.Trace(tr)
+	}
+	return trace.NewWorkload("test", traces)
+}
+
+// TestOptTrackerConvergesToBatch is the acceptance property of the
+// streaming bound: at the end of a completed run the tracker's ratio —
+// and the competitive_ratio gauge it maintains — equals the batch
+// estimate lowerbound.Ratio(makespan, lowerbound.Compute(...)) exactly,
+// not approximately, because both paths share lowerbound.FromCounts.
+func TestOptTrackerConvergesToBatch(t *testing.T) {
+	ts := testTraces(4, 12, 400)
+	configs := map[string]core.Config{
+		"fifo":     {HBMSlots: 8, Channels: 1, Seed: 3},
+		"priority": {HBMSlots: 8, Channels: 1, Seed: 3, Arbiter: "priority"},
+		"dynamic": {HBMSlots: 8, Channels: 2, Seed: 3, Arbiter: "priority",
+			Permuter: "dynamic", RemapPeriod: 32},
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			reg := metrics.NewRegistry()
+			tk := NewOptTracker(reg, 4, cfg.HBMSlots, cfg.Channels, 64)
+			res := runWith(t, cfg, ts, tk)
+
+			wl := workloadOf(ts)
+			batch := lowerbound.Compute(wl, cfg.HBMSlots, cfg.Channels)
+			want := lowerbound.Ratio(res.Makespan, batch)
+
+			if tk.Bounds() != batch {
+				t.Fatalf("streaming bounds %+v, batch %+v", tk.Bounds(), batch)
+			}
+			if got := tk.Ratio(); got != want {
+				t.Fatalf("streaming ratio %v, batch ratio %v (must be bit-identical)", got, want)
+			}
+			if got := reg.FloatGauge("competitive_ratio", "").Value(); got != want {
+				t.Fatalf("competitive_ratio gauge %v, batch ratio %v", got, want)
+			}
+			if got := tk.UniquePages(); got != wl.UniquePages() {
+				t.Fatalf("unique pages %d, workload has %d", got, wl.UniquePages())
+			}
+			if got := tk.Serves(); got != wl.TotalRefs() {
+				t.Fatalf("serves %d, workload has %d refs", got, wl.TotalRefs())
+			}
+		})
+	}
+}
+
+// TestOptTrackerIsPassive extends the PR-1 differential invariant to the
+// optimality tracker: attaching it changes neither the Result (bit for
+// bit) nor the byte stream any co-attached observer produces.
+func TestOptTrackerIsPassive(t *testing.T) {
+	ts := testTraces(4, 10, 300)
+	cfg := core.Config{HBMSlots: 8, Channels: 2, Seed: 7, Arbiter: "priority",
+		Permuter: "dynamic", RemapPeriod: 32}
+
+	var plainLog bytes.Buffer
+	plain := runWith(t, cfg, ts, NewEventLog(&plainLog))
+
+	var trackedLog bytes.Buffer
+	tk := NewOptTracker(metrics.NewRegistry(), 4, cfg.HBMSlots, cfg.Channels, 0)
+	tracked := runWith(t, cfg, ts, core.NewMultiObserver(tk, NewEventLog(&trackedLog)))
+
+	if !reflect.DeepEqual(plain, tracked) {
+		t.Fatalf("tracker changed the result:\nplain:   %+v\ntracked: %+v", plain, tracked)
+	}
+	if !bytes.Equal(plainLog.Bytes(), trackedLog.Bytes()) {
+		t.Fatal("tracker changed the event stream of a co-attached observer")
+	}
+}
+
+// TestOptTrackerWindows pins the snapshot cadence: one point per window
+// boundary, the windows counter in lockstep, and the onWindow hook fired
+// with each point in order.
+func TestOptTrackerWindows(t *testing.T) {
+	ts := testTraces(2, 6, 200)
+	cfg := core.Config{HBMSlots: 4, Channels: 1, Seed: 1}
+	reg := metrics.NewRegistry()
+	const window = 50
+	tk := NewOptTracker(reg, 2, cfg.HBMSlots, cfg.Channels, window)
+	var hooked []OptPoint
+	tk.SetOnWindow(func(p OptPoint) { hooked = append(hooked, p) })
+	res := runWith(t, cfg, ts, tk)
+
+	pts := tk.Points()
+	if want := int(res.Makespan / window); len(pts) != want {
+		t.Fatalf("%d window points for makespan %d, want %d", len(pts), res.Makespan, want)
+	}
+	if !reflect.DeepEqual(hooked, pts) {
+		t.Fatal("onWindow hook saw different points than Points()")
+	}
+	if got := reg.Counter("optgap_windows_total", "").Value(); got != uint64(len(pts)) {
+		t.Fatalf("optgap_windows_total = %d, want %d", got, len(pts))
+	}
+	for i, p := range pts {
+		if want := model.Tick(window * (i + 1)); p.Tick != want {
+			t.Fatalf("point %d at tick %d, want %d", i, p.Tick, want)
+		}
+		if p.LowerBound == 0 || p.Ratio <= 0 {
+			t.Fatalf("point %d has empty bound: %+v", i, p)
+		}
+	}
+	// Serves and unique pages are cumulative, so monotone across windows.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Serves < pts[i-1].Serves || pts[i].UniquePages < pts[i-1].UniquePages {
+			t.Fatalf("window aggregates regressed: %+v -> %+v", pts[i-1], pts[i])
+		}
+	}
+}
+
+// TestOptTrackerMissRatioMatchesBatch checks the windowed miss ratio
+// against the batch even-partition arithmetic over the full run.
+func TestOptTrackerMissRatioMatchesBatch(t *testing.T) {
+	ts := testTraces(3, 8, 250)
+	cfg := core.Config{HBMSlots: 7, Channels: 1, Seed: 2}
+	tk := NewOptTracker(nil, 3, cfg.HBMSlots, cfg.Channels, 0)
+	runWith(t, cfg, ts, tk)
+
+	curves := make([]stackdist.Curve, len(ts))
+	var total uint64
+	for i, tr := range ts {
+		curves[i] = stackdist.CurveOf(trace.Trace(tr))
+		total += uint64(len(tr))
+	}
+	wantMiss := float64(stackdist.EvenPartition(curves, cfg.HBMSlots)) / float64(total)
+	snap := tk.Snapshot()
+	if snap.MissRatio != wantMiss {
+		t.Fatalf("streaming miss ratio %v, batch even-partition %v", snap.MissRatio, wantMiss)
+	}
+	if snap.P90Distance <= 0 {
+		t.Fatalf("p90 stack distance %d, want > 0 for a reusing trace", snap.P90Distance)
+	}
+}
+
+// TestOptTrackerWriteCSV pins the CSV shape: header plus one row per
+// closed window, plus a trailing live row when the run ends mid-window.
+func TestOptTrackerWriteCSV(t *testing.T) {
+	ts := testTraces(2, 6, 150)
+	cfg := core.Config{HBMSlots: 4, Channels: 1, Seed: 1}
+	tk := NewOptTracker(nil, 2, cfg.HBMSlots, cfg.Channels, 64)
+	res := runWith(t, cfg, ts, tk)
+
+	var buf strings.Builder
+	if err := tk.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[0] != "tick,serves,unique_pages,lower_bound,competitive_ratio,miss_ratio,p90_stack_distance" {
+		t.Fatalf("header: %q", lines[0])
+	}
+	wantRows := len(tk.Points())
+	if n := len(tk.Points()); n == 0 || tk.Points()[n-1].Tick != res.Makespan {
+		wantRows++ // trailing live row
+	}
+	if got := len(lines) - 1; got != wantRows {
+		t.Fatalf("%d data rows, want %d", got, wantRows)
+	}
+	if !strings.HasPrefix(lines[len(lines)-1], fmt.Sprintf("%d,", res.Makespan)) {
+		t.Fatalf("last row %q should be the final state at tick %d", lines[len(lines)-1], res.Makespan)
+	}
+}
+
+// TestOptTrackerDefensiveGrowth covers serves from cores beyond the
+// declared count (a tracker built with a stale core count must not
+// panic and still aggregates correctly).
+func TestOptTrackerDefensiveGrowth(t *testing.T) {
+	tk := NewOptTracker(nil, 1, 4, 1, 0)
+	tk.OnServe(0, 1, 0, 0)
+	tk.OnServe(3, 2, 0, 0) // beyond the declared single core
+	tk.OnServe(3, 2, 0, 0)
+	tk.OnTickEnd(3, 0, 0)
+	if tk.UniquePages() != 2 || tk.Serves() != 3 {
+		t.Fatalf("unique=%d serves=%d after defensive growth", tk.UniquePages(), tk.Serves())
+	}
+	want := lowerbound.Ratio(3, lowerbound.FromCounts(2, 2, 1))
+	if got := tk.Ratio(); got != want {
+		t.Fatalf("ratio %v, want %v", got, want)
+	}
+}
+
+func BenchmarkOptTracker(b *testing.B) {
+	ts := testTraces(8, 64, 2000)
+	cfg := core.Config{HBMSlots: 64, Channels: 2, Seed: 1, Arbiter: "priority"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := core.New(cfg, ts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.SetObserver(NewOptTracker(nil, 8, cfg.HBMSlots, cfg.Channels, 4096))
+		for s.Step() {
+		}
+	}
+}

@@ -198,6 +198,17 @@ func (e *PerfettoExporter) OnTickEnd(t model.Tick, depth, busy int) {
 	}
 }
 
+// EmitOptGap writes one sample of the live competitive-ratio estimate as
+// a counter event on the simulator-global process, so the optimality gap
+// renders as a counter track beside dram-queue and channels-busy. Call
+// it from an OptTracker window hook; events land in tick order because
+// both run on the simulation goroutine.
+func (e *PerfettoExporter) EmitOptGap(t model.Tick, ratio float64) {
+	e.sep()
+	fmt.Fprintf(e.bw, `{"name":"competitive-ratio","ph":"C","ts":%d,"pid":%d,"args":{"ratio":%g}}`,
+		t, pidSim, ratio)
+}
+
 // Close terminates the JSON array and flushes buffered events, returning
 // the first write error encountered. It does not close the underlying
 // writer.

@@ -45,6 +45,13 @@ type (
 	PerfettoExporter = telemetry.PerfettoExporter
 	// EventLog streams every event as one buffered CSV row.
 	EventLog = telemetry.EventLog
+	// OptTracker maintains live optimality telemetry: a streaming
+	// makespan lower bound, per-core streaming stack-distance curves, and
+	// a competitive_ratio gauge plus optgap_* instruments in a
+	// MetricsRegistry.
+	OptTracker = telemetry.OptTracker
+	// OptPoint is one windowed snapshot of an OptTracker.
+	OptPoint = telemetry.OptPoint
 )
 
 // NewMultiObserver builds a fan-out over several observers, so independent
@@ -95,6 +102,16 @@ func NewEventLog(w io.Writer) *EventLog { return telemetry.NewEventLog(w) }
 // NewEventLog.
 func NewEventLogNamed(w io.Writer, workload string) *EventLog {
 	return telemetry.NewEventLogNamed(w, workload)
+}
+
+// NewOptTracker builds a live optimality tracker for a simulation of the
+// given core count on an HBM of k slots with q far channels, registering
+// the competitive_ratio gauge and optgap_* instruments in reg (nil for
+// throwaway instruments). window is the snapshot cadence in ticks (0
+// selects 4096). At the end of a completed run the tracker's ratio
+// equals CompetitiveRatio over LowerBounds exactly.
+func NewOptTracker(reg *MetricsRegistry, cores, k, q int, window Tick) *OptTracker {
+	return telemetry.NewOptTracker(reg, cores, k, q, window)
 }
 
 // Live metrics: Meter streams the simulator's hot-path activity into
