@@ -1,6 +1,7 @@
 package hbmsim
 
 import (
+	"context"
 	"io"
 
 	"hbmsim/internal/core"
@@ -27,6 +28,14 @@ const SnapshotFormatVersion = core.FormatVersion
 // stepping.
 func ResumeSim(r io.Reader, cfg Config, wl *Workload) (*Sim, error) {
 	return core.Resume(r, cfg, wl.Raw())
+}
+
+// ResumeSimContext is ResumeSim under any trace span carried by ctx: the
+// snapshot load is timed as a "core.checkpoint.load" child span. With no
+// span in ctx it is exactly ResumeSim. (Checkpoint's counterpart is the
+// Sim.CheckpointContext method.)
+func ResumeSimContext(ctx context.Context, r io.Reader, cfg Config, wl *Workload) (*Sim, error) {
+	return core.ResumeContext(ctx, r, cfg, wl.Raw())
 }
 
 // ConfigFingerprint hashes a Config (after applying defaults); together

@@ -37,6 +37,7 @@ import (
 	"hbmsim/internal/introspect"
 	"hbmsim/internal/metrics"
 	"hbmsim/internal/serve"
+	"hbmsim/internal/tracing"
 )
 
 func main() {
@@ -56,16 +57,54 @@ func run() int {
 		logLevel   = flag.String("log-level", "info", "structured-log level: debug|info|warn|error")
 		optGap     = flag.Bool("optgap", false, "track live optimality telemetry for sim jobs: competitive_ratio gauge on /metrics plus a per-job optgap snapshot in GET /jobs/{id} and the SSE stream")
 		optGapWin  = flag.Uint64("optgap-window", 0, "optimality snapshot cadence in ticks (0 = 4096)")
+		traceOn    = flag.Bool("trace", true, "trace job lifecycles as spans: /debug/trace, trace IDs in job views and logs, SIGQUIT flight-recorder dumps")
+		traceRate  = flag.Float64("trace-sample", 1, "head-sampling probability for job traces in (0,1]")
+		traceFile  = flag.String("trace-file", "", "also append finished spans to this file as OTLP JSON lines")
 	)
 	flag.Parse()
-	if _, err := introspect.SetupLogging(os.Stderr, *logLevel); err != nil {
-		fmt.Fprintf(os.Stderr, "hbmserved: %v\n", err)
-		return 2
-	}
 	if *dir == "" {
+		if _, err := introspect.SetupLogging(os.Stderr, *logLevel); err != nil {
+			fmt.Fprintf(os.Stderr, "hbmserved: %v\n", err)
+			return 2
+		}
 		fmt.Fprintln(os.Stderr, "hbmserved: -dir is required (the state directory makes jobs durable)")
 		return 2
 	}
+
+	// Tracing is on by default: the span ring is bounded memory, the
+	// nil-tracer fast path means "off" costs nothing, and the flight
+	// recorder is only as useful as what was recorded before the crash.
+	var tracer *tracing.Tracer
+	var flight *tracing.FlightRecorder
+	var otlp *tracing.OTLPWriter
+	if *traceOn {
+		opts := tracing.Options{Sample: *traceRate}
+		if *traceFile != "" {
+			f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hbmserved: opening -trace-file: %v\n", err)
+				return 2
+			}
+			defer f.Close()
+			otlp = tracing.NewOTLPWriter(f)
+			defer otlp.Close()
+			opts.Exporters = append(opts.Exporters, otlp)
+		}
+		tracer = tracing.New(opts)
+	}
+	flight = tracing.NewFlightRecorder(tracer, 512)
+	if _, err := introspect.SetupTracedLogging(os.Stderr, *logLevel, flight); err != nil {
+		fmt.Fprintf(os.Stderr, "hbmserved: %v\n", err)
+		return 2
+	}
+	stopSIGQUIT := flight.InstallSIGQUIT(*dir, func(path string, err error) {
+		if err != nil {
+			slog.Error("flight-recorder dump failed", "err", err)
+			return
+		}
+		slog.Info("flight recorder dumped", "path", path)
+	})
+	defer stopSIGQUIT()
 
 	reg := metrics.NewRegistry()
 	prog := &introspect.Progress{}
@@ -80,6 +119,8 @@ func run() int {
 		OnUpdate:        mirror.onUpdate,
 		TrackOptGap:     *optGap,
 		OptGapWindow:    *optGapWin,
+		Tracer:          tracer,
+		FlightRecorder:  flight,
 	})
 	if err != nil {
 		slog.Error("opening job service", "err", err)
@@ -89,6 +130,7 @@ func run() int {
 	intro := introspect.New(reg, prog)
 	intro.Handle("/jobs", svc.Handler())
 	intro.Handle("/jobs/", svc.Handler())
+	intro.EnableTrace(tracer)
 	bound, err := intro.Start(*addr)
 	if err != nil {
 		slog.Error("starting HTTP server", "err", err)
@@ -111,6 +153,10 @@ func run() int {
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	sig := <-sigCh
 	slog.Info("shutdown signal; draining", "signal", sig, "timeout", *drainT)
+	// Flip the readiness probe before admission actually stops: load
+	// balancers stop routing to a draining instance while in-flight jobs
+	// finish.
+	intro.SetHealth(fmt.Sprintf("draining after %v", sig))
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainT)
 	go func() {

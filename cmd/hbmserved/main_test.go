@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -241,6 +242,26 @@ func compactJSON(t *testing.T, raw json.RawMessage) []byte {
 	return buf.Bytes()
 }
 
+// TestBadLogLevelExitsUsageError pins the flag contract on the service
+// too: an unknown -log-level is a usage error, exit 2.
+func TestBadLogLevelExitsUsageError(t *testing.T) {
+	cmd := exec.Command(binPath, "-dir", t.TempDir(), "-log-level", "loud")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("-log-level loud exited 0; output:\n%s", out)
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("running hbmserved: %v", err)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Fatalf("-log-level loud exited %d, want 2; output:\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "hbmserved:") || !strings.Contains(string(out), "loud") {
+		t.Fatalf("no one-line error naming the bad level; output:\n%s", out)
+	}
+}
+
 // TestSigtermCleanDrain pins graceful shutdown: SIGTERM lets the running
 // job finish, the process exits 0, and a restart shows the job done
 // without re-running it.
@@ -311,7 +332,8 @@ func TestIntrospectionMounted(t *testing.T) {
 	defer resp.Body.Close()
 	var body bytes.Buffer
 	body.ReadFrom(resp.Body)
-	for _, metric := range []string{"serve_jobs_submitted_total", "serve_queue_depth", "serve_job_seconds"} {
+	for _, metric := range []string{"serve_jobs_submitted_total", "serve_queue_depth", "serve_job_seconds",
+		"serve_queue_wait_seconds", "serve_checkpoint_write_seconds"} {
 		if !strings.Contains(body.String(), metric) {
 			t.Errorf("/metrics missing %s", metric)
 		}

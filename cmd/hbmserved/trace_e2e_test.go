@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"hbmsim/internal/tracing"
+)
+
+// getJSON fetches path and decodes the response body into v, returning
+// the status code.
+func (s *server) getJSON(t *testing.T, path string, v any) int {
+	t.Helper()
+	resp, err := http.Get(s.url(path))
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: decoding: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestTraceIDResolvesOnDebugTrace is the acceptance path for the tracing
+// tentpole: a submitted job's view carries a trace ID, and querying
+// /debug/trace with that ID returns the job's spans.
+func TestTraceIDResolvesOnDebugTrace(t *testing.T) {
+	s := startServer(t, t.TempDir())
+	defer func() { s.cmd.Process.Kill(); s.cmd.Wait() }()
+
+	id := s.submit(t, quickJob)
+	m := s.waitDone(t, id, 60*time.Second)
+
+	var traceID string
+	if err := json.Unmarshal(m["trace_id"], &traceID); err != nil || len(traceID) != 32 {
+		t.Fatalf("job view trace_id = %s (err %v), want 32 hex chars", m["trace_id"], err)
+	}
+
+	var view struct {
+		OpenSpans   []tracing.SpanJSON `json:"open_spans"`
+		RecentSpans []tracing.SpanJSON `json:"recent_spans"`
+	}
+	if code := s.getJSON(t, "/debug/trace?trace="+traceID, &view); code != http.StatusOK {
+		t.Fatalf("/debug/trace?trace=: status %d", code)
+	}
+	if len(view.RecentSpans) == 0 {
+		t.Fatal("trace ID from the job view resolved to no spans")
+	}
+	names := make(map[string]bool)
+	for _, sp := range view.RecentSpans {
+		if sp.Trace != traceID {
+			t.Errorf("span %s belongs to trace %s, want %s", sp.Name, sp.Trace, traceID)
+		}
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"serve.job", "serve.admit", "serve.queue_wait", "serve.run"} {
+		if !names[want] {
+			t.Errorf("trace lacks a %s span; got %v", want, names)
+		}
+	}
+
+	// The same trace must be reachable by job ID too.
+	var byJob struct {
+		RecentSpans []tracing.SpanJSON `json:"recent_spans"`
+	}
+	s.getJSON(t, "/debug/trace?job=1", &byJob)
+	if len(byJob.RecentSpans) == 0 {
+		t.Error("/debug/trace?job=1 returned no spans")
+	}
+}
+
+// TestTracingDifferentialResultsIdentical is the tracing
+// no-interference guarantee at the service boundary: the same job run
+// with tracing on (the default, sample 1.0) and off produces a
+// byte-identical result payload; with tracing off the view carries no
+// trace ID and /debug/trace is 404.
+func TestTracingDifferentialResultsIdentical(t *testing.T) {
+	on := startServer(t, t.TempDir())
+	defer func() { on.cmd.Process.Kill(); on.cmd.Wait() }()
+	mOn := on.waitDone(t, on.submit(t, quickJob), 60*time.Second)
+
+	off := startServer(t, t.TempDir(), "-trace=false")
+	defer func() { off.cmd.Process.Kill(); off.cmd.Wait() }()
+	mOff := off.waitDone(t, off.submit(t, quickJob), 60*time.Second)
+
+	if got, want := compactJSON(t, mOn["result"]), compactJSON(t, mOff["result"]); !bytes.Equal(got, want) {
+		t.Errorf("result differs with tracing on:\n  on: %.200s\n off: %.200s", got, want)
+	}
+	if len(mOff["trace_id"]) != 0 {
+		t.Errorf("untraced job view carries trace_id %s", mOff["trace_id"])
+	}
+	if code := off.getJSON(t, "/debug/trace", nil); code != http.StatusNotFound {
+		t.Errorf("/debug/trace with -trace=false: status %d, want 404", code)
+	}
+}
+
+// TestHealthzFlipsDuringDrain pins the readiness contract: 200 while
+// serving, 503 with a draining reason after the first shutdown signal,
+// while in-flight jobs are still finishing.
+func TestHealthzFlipsDuringDrain(t *testing.T) {
+	s := startServer(t, t.TempDir(), "-workers", "1", "-drain-timeout", "120s")
+	defer func() { s.cmd.Process.Kill(); s.cmd.Wait() }()
+
+	var doc map[string]string
+	if code := s.getJSON(t, "/healthz", &doc); code != http.StatusOK || doc["status"] != "serving" {
+		t.Fatalf("healthy probe: status %d doc %v", code, doc)
+	}
+
+	// Occupy the worker so the drain has something to wait for.
+	s.submit(t, sweepJob)
+	if err := s.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var doc map[string]string
+		code := s.getJSON(t, "/healthz", &doc)
+		if code == http.StatusServiceUnavailable {
+			if doc["status"] != "unavailable" || !strings.Contains(doc["reason"], "draining") {
+				t.Fatalf("draining probe doc = %v", doc)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/healthz still %d after SIGTERM, want 503", code)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSIGQUITFlightRecorderDump drives the flight recorder end to end:
+// SIGQUIT against a busy process writes a parseable dump into -dir that
+// names the in-flight job through its open spans, and the process keeps
+// running.
+func TestSIGQUITFlightRecorderDump(t *testing.T) {
+	dir := t.TempDir()
+	s := startServer(t, dir, "-workers", "1")
+	defer func() { s.cmd.Process.Kill(); s.cmd.Wait() }()
+
+	id := s.submit(t, sweepJob)
+	deadline := time.Now().Add(30 * time.Second)
+	for jobState(s.getJob(t, id)) != "running" {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := s.cmd.Process.Signal(syscall.SIGQUIT); err != nil {
+		t.Fatal(err)
+	}
+	dumpPath := waitForDump(t, dir, 15*time.Second)
+
+	raw, err := os.ReadFile(dumpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump tracing.Dump
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%.400s", err, raw)
+	}
+	if dump.Reason != "SIGQUIT" || dump.PID == 0 {
+		t.Errorf("dump header = reason %q pid %d", dump.Reason, dump.PID)
+	}
+	var sawJob, sawRun bool
+	for _, sp := range dump.OpenSpans {
+		if !sp.Open {
+			t.Errorf("open_spans contains a closed span: %+v", sp)
+		}
+		switch sp.Name {
+		case "serve.job":
+			sawJob = true
+			if got := attrValue(sp, "job"); got != "1" {
+				t.Errorf("serve.job span job attr = %q, want 1", got)
+			}
+		case "serve.run":
+			sawRun = true
+		}
+	}
+	if !sawJob || !sawRun {
+		t.Errorf("dump does not name the in-flight job: open spans %+v", dump.OpenSpans)
+	}
+
+	// SIGQUIT must not stop the process: the job API still answers.
+	if st := jobState(s.getJob(t, id)); st != "running" && st != "done" {
+		t.Errorf("job state %q after SIGQUIT, want still running/done", st)
+	}
+}
+
+func attrValue(sp tracing.SpanJSON, key string) string {
+	for _, a := range sp.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// waitForDump polls dir until a flight-recorder dump appears.
+func waitForDump(t *testing.T, dir string, timeout time.Duration) string {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		matches, err := filepath.Glob(filepath.Join(dir, "flightrec-*.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(matches) > 0 {
+			return matches[0]
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no flightrec-*.json dump appeared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

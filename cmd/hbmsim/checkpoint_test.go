@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -18,7 +19,7 @@ func TestRunObservedCheckpointResume(t *testing.T) {
 	dir := t.TempDir()
 	snap := filepath.Join(dir, "run.snap")
 
-	res, _, err := runObserved(cfg, wl, telemetryOptions{
+	res, _, err := runObserved(context.Background(), cfg, wl, telemetryOptions{
 		checkpointEvery: 2,
 		checkpointPath:  snap,
 	})
@@ -32,7 +33,7 @@ func TestRunObservedCheckpointResume(t *testing.T) {
 		t.Fatalf("temp snapshot left behind: %v", err)
 	}
 
-	resumed, _, err := runObserved(cfg, wl, telemetryOptions{resumePath: snap})
+	resumed, _, err := runObserved(context.Background(), cfg, wl, telemetryOptions{resumePath: snap})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestRunObservedCheckpointResume(t *testing.T) {
 	// A mismatched config must be refused, not silently resumed.
 	other := cfg
 	other.Seed++
-	if _, _, err := runObserved(other, wl, telemetryOptions{resumePath: snap}); err == nil {
+	if _, _, err := runObserved(context.Background(), other, wl, telemetryOptions{resumePath: snap}); err == nil {
 		t.Fatal("resume under a different config should fail")
 	}
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTracingDifferentialOutputsIdentical is the tracing no-interference
+// guarantee at the CLI boundary: the same run with -tracing and a
+// -trace-file export produces byte-identical event CSV and checkpoint
+// snapshot, while the trace file actually receives the run's spans.
+func TestTracingDifferentialOutputsIdentical(t *testing.T) {
+	dir := t.TempDir()
+	run := func(suffix string, extra ...string) (events, snap string) {
+		events = filepath.Join(dir, "events-"+suffix+".csv")
+		snap = filepath.Join(dir, "snap-"+suffix+".bin")
+		args := append([]string{"-gen", "zipf", "-cores", "4", "-size", "4000", "-k", "64",
+			"-seed", "9", "-events", events,
+			"-checkpoint-every", "1000", "-checkpoint-file", snap}, extra...)
+		out, err := runCLI(t, args...)
+		if err != nil {
+			t.Fatalf("CLI failed (%s): %v\noutput:\n%s", suffix, err, out)
+		}
+		return events, snap
+	}
+
+	spans := filepath.Join(dir, "spans.jsonl")
+	plainEvents, plainSnap := run("plain")
+	tracedEvents, tracedSnap := run("traced", "-tracing", "-trace-file", spans)
+
+	for _, pair := range [][2]string{{plainEvents, tracedEvents}, {plainSnap, tracedSnap}} {
+		a, err := os.ReadFile(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) == 0 {
+			t.Fatalf("%s is empty", pair[0])
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s and %s differ under -tracing (%d vs %d bytes)",
+				pair[0], pair[1], len(a), len(b))
+		}
+	}
+
+	raw, err := os.ReadFile(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hbmsim.run", "core.checkpoint.save"} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("-trace-file lacks a %s span:\n%.400s", want, raw)
+		}
+	}
+}

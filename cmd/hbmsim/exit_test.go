@@ -69,6 +69,27 @@ func TestStreamingSinkErrorExitsNonzero(t *testing.T) {
 	}
 }
 
+// TestBadLogLevelExitsUsageError pins the flag contract: an unknown
+// -log-level value is a usage error and must exit 2 (like flag.Parse
+// does for unknown flags), not 1, so wrappers can distinguish "called
+// wrong" from "run failed".
+func TestBadLogLevelExitsUsageError(t *testing.T) {
+	out, err := runCLI(t, "-gen", "stream", "-cores", "2", "-size", "100", "-log-level", "loud")
+	if err == nil {
+		t.Fatalf("-log-level loud exited 0; output:\n%s", out)
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("running CLI: %v", err)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Fatalf("-log-level loud exited %d, want 2; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "hbmsim:") || !strings.Contains(out, "loud") {
+		t.Fatalf("no one-line error naming the bad level; output:\n%s", out)
+	}
+}
+
 // TestCLISuccessPathsExitZero is the helper's own sanity check plus the
 // happy flush path: the same flags against writable files exit 0 and
 // leave non-empty outputs.

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -22,6 +23,7 @@ import (
 
 	"hbmsim/internal/introspect"
 	"hbmsim/internal/report"
+	"hbmsim/internal/tracing"
 )
 
 func main() {
@@ -55,6 +57,9 @@ func main() {
 		ckptEvery = flag.Uint64("checkpoint-every", 0, "write a resumable snapshot every N ticks (0 = never); requires -checkpoint-file")
 		ckptFile  = flag.String("checkpoint-file", "", "snapshot path for -checkpoint-every (written atomically)")
 		resume    = flag.String("resume", "", "resume from a snapshot written by -checkpoint-every; the workload and config flags must match the checkpointed run")
+		traceOn   = flag.Bool("tracing", false, "trace the run as spans (root span plus checkpoint save/load children); view on -http /debug/trace or export with -trace-file")
+		traceRate = flag.Float64("trace-sample", 1, "head-sampling probability for -tracing in (0,1]")
+		traceFile = flag.String("trace-file", "", "append finished spans to this file as OTLP JSON lines (implies -tracing)")
 	)
 	flag.Parse()
 
@@ -66,12 +71,45 @@ func main() {
 	}
 
 	if _, err := introspect.SetupLogging(os.Stderr, *logLevel); err != nil {
-		fail(err)
+		// A bad flag value is a usage error: exit 2 like flag.Parse does,
+		// so scripts can tell "you called me wrong" from "the run failed".
+		fmt.Fprintf(os.Stderr, "hbmsim: %v\n", err)
+		os.Exit(2)
+	}
+
+	// Opt-in span tracing. -trace names the input trace file on this CLI,
+	// so the switch is spelled -tracing; -trace-file alone also enables it
+	// (an export target is an unambiguous request to trace).
+	var tracer *tracing.Tracer
+	if *traceOn || *traceFile != "" {
+		topts := tracing.Options{Sample: *traceRate}
+		if *traceFile != "" {
+			f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			otlp := tracing.NewOTLPWriter(f)
+			defer otlp.Close()
+			topts.Exporters = append(topts.Exporters, otlp)
+		}
+		tracer = tracing.New(topts)
 	}
 
 	wl, err := loadWorkload(*tracePath, *gen, *cores, *size, *pageBytes, *seed)
 	if err != nil {
 		fail(err)
+	}
+
+	// The run's root span: checkpoint saves/loads inside the tick loop
+	// become children, and the deferred End flushes it to -trace-file
+	// before the OTLP writer closes (defers run last-in-first-out).
+	ctx := context.Background()
+	if tracer != nil {
+		var root tracing.Span
+		ctx, root = tracer.StartRoot(ctx, "hbmsim.run")
+		root.SetAttr("workload", wl.Name)
+		defer root.End()
 	}
 
 	cfg := hbmsim.Config{
@@ -120,6 +158,7 @@ func main() {
 		tele.progress = &introspect.Progress{}
 		tele.totalRefs = wl.TotalRefs()
 		srv := introspect.New(tele.metrics, tele.progress)
+		srv.EnableTrace(tracer)
 		bound, err := srv.Start(*httpAddr)
 		if err != nil {
 			fail(err)
@@ -131,7 +170,7 @@ func main() {
 	var res *hbmsim.Result
 	var col *collectors
 	if tele.enabled() {
-		res, col, err = runObserved(cfg, wl, tele)
+		res, col, err = runObserved(ctx, cfg, wl, tele)
 	} else {
 		res, err = hbmsim.Run(cfg, wl)
 	}

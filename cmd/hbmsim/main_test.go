@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -73,7 +74,7 @@ func TestRunObservedWithMetricsMatchesPlain(t *testing.T) {
 	if !opts.enabled() {
 		t.Fatal("metrics registry alone should enable the observed path")
 	}
-	observed, _, err := runObserved(cfg, wl, opts)
+	observed, _, err := runObserved(context.Background(), cfg, wl, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

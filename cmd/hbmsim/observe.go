@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -94,8 +95,8 @@ type collectors struct {
 
 // runObserved drives a stepwise simulation with the requested telemetry
 // observers attached and finalises their outputs.
-func runObserved(cfg hbmsim.Config, wl *hbmsim.Workload, opts telemetryOptions) (*hbmsim.Result, *collectors, error) {
-	sim, err := buildSim(cfg, wl, opts.resumePath)
+func runObserved(ctx context.Context, cfg hbmsim.Config, wl *hbmsim.Workload, opts telemetryOptions) (*hbmsim.Result, *collectors, error) {
+	sim, err := buildSim(ctx, cfg, wl, opts.resumePath)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -181,7 +182,7 @@ func runObserved(cfg hbmsim.Config, wl *hbmsim.Workload, opts telemetryOptions) 
 	var steps uint64
 	for sim.Step() {
 		if opts.checkpointEvery > 0 && sim.Tick()%opts.checkpointEvery == 0 {
-			if err := writeCheckpoint(sim, opts.checkpointPath); err != nil {
+			if err := writeCheckpoint(ctx, sim, opts.checkpointPath); err != nil {
 				closeAll()
 				return nil, nil, err
 			}
@@ -197,7 +198,7 @@ func runObserved(cfg hbmsim.Config, wl *hbmsim.Workload, opts telemetryOptions) 
 	if opts.checkpointEvery > 0 {
 		// One final snapshot so a resume of a finished run reproduces its
 		// result without re-simulating.
-		if err := writeCheckpoint(sim, opts.checkpointPath); err != nil {
+		if err := writeCheckpoint(ctx, sim, opts.checkpointPath); err != nil {
 			closeAll()
 			return nil, nil, err
 		}
@@ -273,7 +274,7 @@ func sinkErr(events *hbmsim.EventLog, perfetto *hbmsim.PerfettoExporter) error {
 
 // buildSim constructs the stepwise simulator, resuming from a snapshot
 // when one was given.
-func buildSim(cfg hbmsim.Config, wl *hbmsim.Workload, resumePath string) (*hbmsim.Sim, error) {
+func buildSim(ctx context.Context, cfg hbmsim.Config, wl *hbmsim.Workload, resumePath string) (*hbmsim.Sim, error) {
 	if resumePath == "" {
 		return hbmsim.NewSim(cfg, wl)
 	}
@@ -282,7 +283,7 @@ func buildSim(cfg hbmsim.Config, wl *hbmsim.Workload, resumePath string) (*hbmsi
 		return nil, err
 	}
 	defer f.Close()
-	sim, err := hbmsim.ResumeSim(f, cfg, wl)
+	sim, err := hbmsim.ResumeSimContext(ctx, f, cfg, wl)
 	if err != nil {
 		return nil, fmt.Errorf("resuming %s: %w", resumePath, err)
 	}
@@ -293,13 +294,13 @@ func buildSim(cfg hbmsim.Config, wl *hbmsim.Workload, resumePath string) (*hbmsi
 // written to a temp file, synced, and renamed over the target, so a
 // crash mid-write can never leave a torn snapshot at the checkpoint
 // path.
-func writeCheckpoint(sim *hbmsim.Sim, path string) error {
+func writeCheckpoint(ctx context.Context, sim *hbmsim.Sim, path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := sim.Checkpoint(f); err != nil {
+	if err := sim.CheckpointContext(ctx, f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -24,26 +25,30 @@ import (
 	"hbmsim/internal/metrics"
 	"hbmsim/internal/report"
 	"hbmsim/internal/sweep"
+	"hbmsim/internal/tracing"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id, comma-separated list, or 'all'")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		full     = flag.Bool("full", false, "use paper-scale parameters (slow)")
-		seed     = flag.Int64("seed", 1, "random seed for workloads and policies")
-		workers  = flag.Int("workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
-		csvPath  = flag.String("csv", "", "write the experiments' tables as CSV to this file")
-		svgDir   = flag.String("svg", "", "write each figure's chart as <id>.svg into this directory")
-		chart    = flag.Bool("chart", true, "render ASCII charts for figures")
-		sortN    = flag.Int("sortn", 0, "override sort workload size")
-		spgemmN  = flag.Int("spgemmn", 0, "override SpGEMM dimension")
-		threads  = flag.String("threads", "", "override the thread-count axis, e.g. 8,32,128,200")
-		slots    = flag.String("k", "", "override the HBM-size axis, e.g. 1000,3000,5000")
-		httpAddr = flag.String("http", "", "serve /metrics, /progress, /debug/vars, /debug/pprof on this address (e.g. :8080; empty = no listener)")
-		logLevel = flag.String("log-level", "info", "structured-log level: debug|info|warn|error")
-		journal  = flag.String("journal", "", "append each completed sweep row to this crash-tolerant journal file; pair with -resume to continue an interrupted run")
-		optWin   = flag.Uint64("optgap-window", 0, "snapshot cadence in ticks for experiments with live optimality tracking, e.g. -exp optgap (0 = 4096)")
+		exp       = flag.String("exp", "", "experiment id, comma-separated list, or 'all'")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		full      = flag.Bool("full", false, "use paper-scale parameters (slow)")
+		seed      = flag.Int64("seed", 1, "random seed for workloads and policies")
+		workers   = flag.Int("workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
+		csvPath   = flag.String("csv", "", "write the experiments' tables as CSV to this file")
+		svgDir    = flag.String("svg", "", "write each figure's chart as <id>.svg into this directory")
+		chart     = flag.Bool("chart", true, "render ASCII charts for figures")
+		sortN     = flag.Int("sortn", 0, "override sort workload size")
+		spgemmN   = flag.Int("spgemmn", 0, "override SpGEMM dimension")
+		threads   = flag.String("threads", "", "override the thread-count axis, e.g. 8,32,128,200")
+		slots     = flag.String("k", "", "override the HBM-size axis, e.g. 1000,3000,5000")
+		httpAddr  = flag.String("http", "", "serve /metrics, /progress, /debug/vars, /debug/pprof on this address (e.g. :8080; empty = no listener)")
+		logLevel  = flag.String("log-level", "info", "structured-log level: debug|info|warn|error")
+		journal   = flag.String("journal", "", "append each completed sweep row to this crash-tolerant journal file; pair with -resume to continue an interrupted run")
+		optWin    = flag.Uint64("optgap-window", 0, "snapshot cadence in ticks for experiments with live optimality tracking, e.g. -exp optgap (0 = 4096)")
+		traceOn   = flag.Bool("trace", false, "trace the run as spans (experiments, sweep rows, journal fsyncs); view on -http /debug/trace or export with -trace-file")
+		traceRate = flag.Float64("trace-sample", 1, "head-sampling probability for -trace in (0,1]")
+		traceFile = flag.String("trace-file", "", "append finished spans to this file as OTLP JSON lines (implies -trace)")
 	)
 	// -resume is a bare switch: the journal file is always named by
 	// -journal, for both writing and resuming. flag.BoolFunc (instead of
@@ -82,10 +87,36 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Opt-in span tracing: one root span for the invocation; experiments,
+	// sweep rows, and journal fsyncs nest under it. -trace-file alone also
+	// enables it (an export target is an unambiguous request to trace).
+	var tracer *tracing.Tracer
+	runCtx := context.Background()
+	if *traceOn || *traceFile != "" {
+		topts := tracing.Options{Sample: *traceRate}
+		if *traceFile != "" {
+			f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hbmsweep: opening -trace-file: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			otlp := tracing.NewOTLPWriter(f)
+			defer otlp.Close()
+			topts.Exporters = append(topts.Exporters, otlp)
+		}
+		tracer = tracing.New(topts)
+		var root tracing.Span
+		runCtx, root = tracer.StartRoot(runCtx, "hbmsweep.run")
+		root.SetAttr("exp", *exp)
+		defer root.End()
+	}
+
 	o := experiments.Default()
 	if *full {
 		o = experiments.Full()
 	}
+	o.Ctx = runCtx
 	o.Seed = *seed
 	o.Workers = *workers
 	o.OptGapWindow = *optWin
@@ -119,7 +150,7 @@ func main() {
 
 	// Opt-in live introspection: with -http unset, no listener is opened,
 	// no registry exists, and the experiments run exactly as before.
-	intro := newIntrospection(*httpAddr)
+	intro := newIntrospection(*httpAddr, tracer)
 	if intro != nil {
 		defer intro.srv.Close()
 		o.Metrics = intro.reg
@@ -225,13 +256,15 @@ type introspection struct {
 }
 
 // newIntrospection starts the HTTP introspection server, or returns nil —
-// opening no listener and creating no registry — when addr is empty.
-func newIntrospection(addr string) *introspection {
+// opening no listener and creating no registry — when addr is empty. A
+// non-nil tracer additionally serves /debug/trace.
+func newIntrospection(addr string, tr *tracing.Tracer) *introspection {
 	if addr == "" {
 		return nil
 	}
 	in := &introspection{reg: metrics.NewRegistry(), prog: &introspect.Progress{}}
 	in.srv = introspect.New(in.reg, in.prog)
+	in.srv.EnableTrace(tr)
 	bound, err := in.srv.Start(addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hbmsweep: %v\n", err)

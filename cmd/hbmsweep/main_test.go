@@ -28,7 +28,7 @@ func TestParseInts(t *testing.T) {
 // TestNoListenerWithoutFlag: with -http unset, no introspection state (and
 // so no listener, registry, or observer) exists at all.
 func TestNoListenerWithoutFlag(t *testing.T) {
-	if in := newIntrospection(""); in != nil {
+	if in := newIntrospection("", nil); in != nil {
 		t.Fatalf("empty -http started introspection: %+v", in)
 	}
 }
@@ -55,7 +55,7 @@ func TestIntrospectionServesLiveSweep(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	in := newIntrospection("127.0.0.1:0")
+	in := newIntrospection("127.0.0.1:0", nil)
 	defer in.srv.Close()
 	o := fastOptions()
 	o.Metrics = in.reg

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"context"
+	"io"
+
+	"hbmsim/internal/model"
+	"hbmsim/internal/tracing"
+)
+
+// CheckpointContext is Checkpoint under the span carried by ctx: a
+// "core.checkpoint.save" child span times the serialisation, tagged with
+// the simulated tick and any error. With no span in ctx (tracing off)
+// it is exactly Checkpoint.
+func (s *Sim) CheckpointContext(ctx context.Context, wr io.Writer) error {
+	_, sp := tracing.StartSpan(ctx, "core.checkpoint.save")
+	sp.SetAttrUint("tick", uint64(s.Tick()))
+	err := s.Checkpoint(wr)
+	sp.EndErr(err)
+	return err
+}
+
+// ResumeContext is Resume under the span carried by ctx: a
+// "core.checkpoint.load" child span times deserialisation plus the
+// deterministic rebuild, tagged with the tick the snapshot restores to.
+func ResumeContext(ctx context.Context, rd io.Reader, cfg Config, traces [][]model.PageID) (*Sim, error) {
+	_, sp := tracing.StartSpan(ctx, "core.checkpoint.load")
+	sim, err := Resume(rd, cfg, traces)
+	if sim != nil {
+		sp.SetAttrUint("tick", uint64(sim.Tick()))
+	}
+	sp.EndErr(err)
+	return sim, err
+}

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"hbmsim/internal/report"
+	"hbmsim/internal/tracing"
 )
 
 // Outcome is the result of one experiment.
@@ -71,11 +72,18 @@ func Get(id string) (Func, error) {
 	return f, nil
 }
 
-// Run looks up and runs one experiment.
+// Run looks up and runs one experiment. When o.Ctx carries a trace span,
+// the whole experiment is timed as an "experiments.run" child span and
+// its internal sweeps' row spans nest under it.
 func Run(id string, o Options) (*Outcome, error) {
 	f, err := Get(id)
 	if err != nil {
 		return nil, err
 	}
-	return f(o)
+	ctx, sp := tracing.StartSpan(o.Ctx, "experiments.run")
+	sp.SetAttr("experiment", id)
+	o.Ctx = ctx
+	out, err := f(o)
+	sp.EndErr(err)
+	return out, err
 }

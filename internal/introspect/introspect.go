@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"hbmsim/internal/metrics"
+	"hbmsim/internal/tracing"
 )
 
 // Progress tracks the phase and completion state of a long-running job
@@ -98,6 +99,10 @@ type Server struct {
 
 	extraMu sync.Mutex
 	extra   []extraRoute
+	tracer  *tracing.Tracer // /debug/trace source; nil = endpoint disabled
+
+	healthMu     sync.Mutex
+	healthReason string // "" = serving; non-empty = 503 with this reason
 }
 
 // extraRoute is a caller-mounted handler (see Handle).
@@ -131,6 +136,8 @@ func (s *Server) Handler() http.Handler {
 	}
 	s.extraMu.Unlock()
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
 	mux.HandleFunc("/debug/vars", s.handleVars)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -223,7 +230,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, `hbmsim live introspection
   /metrics        Prometheus text exposition
+  /healthz        readiness probe (503 + reason while draining)
   /progress       sweep progress JSON (completed/total, ETA)
+  /debug/trace    recent + open spans (?trace=, ?job=, ?format=perfetto)
   /debug/vars     expvar JSON (cmdline, memstats, metrics)
   /debug/pprof/   CPU, heap, goroutine, ... profiles
 `)

@@ -1,0 +1,192 @@
+package introspect
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+
+	"hbmsim/internal/tracing"
+)
+
+// EnableTrace mounts the /debug/trace endpoint over the given tracer.
+// Call before Start/Handler, like Handle. A nil tracer leaves the
+// endpoint returning 404 (tracing disabled).
+func (s *Server) EnableTrace(tr *tracing.Tracer) {
+	s.extraMu.Lock()
+	defer s.extraMu.Unlock()
+	s.tracer = tr
+}
+
+// SetHealth sets the /healthz state: an empty reason means serving
+// (200), a non-empty reason means unavailable (503 carrying the reason)
+// — hbmserved sets "draining: ..." when graceful shutdown begins, so
+// load balancers stop routing new submissions while in-flight jobs
+// finish.
+func (s *Server) SetHealth(reason string) {
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	s.healthReason = reason
+}
+
+// handleHealthz serves the readiness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.healthMu.Lock()
+	reason := s.healthReason
+	s.healthMu.Unlock()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if reason == "" {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, "{\"status\":\"serving\"}\n")
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": "unavailable", "reason": reason})
+}
+
+// traceView is the JSON document served at /debug/trace.
+type traceView struct {
+	OpenSpans   []tracing.SpanJSON `json:"open_spans"`
+	RecentSpans []tracing.SpanJSON `json:"recent_spans"`
+}
+
+// handleTrace serves the tracer's recent window:
+//
+//	GET /debug/trace                     open + recent spans, JSON
+//	GET /debug/trace?trace=<32 hex>      one trace only
+//	GET /debug/trace?job=<id>            traces whose spans carry job=<id>
+//	GET /debug/trace?format=perfetto     same records as a Perfetto/Chrome
+//	                                     trace-event download
+//
+// Filters compose with format; an unknown trace or job simply yields an
+// empty document (the spans may have aged out of the ring).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.tracer
+	if tr == nil {
+		http.Error(w, "tracing disabled (restart with -trace)", http.StatusNotFound)
+		return
+	}
+	open, recent := tr.Active(), tr.Recent()
+	if q := r.URL.Query(); q.Get("trace") != "" || q.Get("job") != "" {
+		keep := matchingTraces(q.Get("trace"), q.Get("job"), open, recent)
+		open = filterRecords(open, keep)
+		recent = filterRecords(recent, keep)
+	}
+	if r.URL.Query().Get("format") == "perfetto" {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Content-Disposition", `attachment; filename="hbmsim-trace.json"`)
+		// Finished spans first (oldest-first), open ones after, so track
+		// naming sees each trace's earliest record.
+		_ = tracing.WritePerfetto(w, append(recent, open...))
+		return
+	}
+	view := traceView{OpenSpans: []tracing.SpanJSON{}, RecentSpans: []tracing.SpanJSON{}}
+	for _, rec := range open {
+		view.OpenSpans = append(view.OpenSpans, tracing.SpanRecordJSON(rec))
+	}
+	for _, rec := range recent {
+		view.RecentSpans = append(view.RecentSpans, tracing.SpanRecordJSON(rec))
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(view)
+}
+
+// matchingTraces returns the set of trace IDs selected by the trace/job
+// filters: an explicit trace ID, plus every trace any of whose spans
+// carries a job attribute equal to job.
+func matchingTraces(traceHex, job string, sets ...[]tracing.SpanRecord) map[tracing.TraceID]bool {
+	keep := make(map[tracing.TraceID]bool)
+	for _, recs := range sets {
+		for i := range recs {
+			if traceHex != "" && recs[i].Trace.String() == traceHex {
+				keep[recs[i].Trace] = true
+			}
+			if job != "" && recs[i].AttrValue("job") == job {
+				keep[recs[i].Trace] = true
+			}
+		}
+	}
+	return keep
+}
+
+func filterRecords(recs []tracing.SpanRecord, keep map[tracing.TraceID]bool) []tracing.SpanRecord {
+	out := recs[:0]
+	for _, rec := range recs {
+		if keep[rec.Trace] {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// tracedHandler decorates a slog.Handler with the tracing layer: records
+// whose context carries a sampled span gain trace= and span= attributes
+// (so one grep pivots from a log line to its whole trace on
+// /debug/trace), and every record is teed into the flight recorder's
+// bounded log ring so crash dumps carry the last log lines alongside the
+// open spans.
+type tracedHandler struct {
+	inner slog.Handler
+	fr    *tracing.FlightRecorder
+}
+
+// NewTracedHandler wraps inner. fr may be nil (attribute injection
+// only).
+func NewTracedHandler(inner slog.Handler, fr *tracing.FlightRecorder) slog.Handler {
+	return &tracedHandler{inner: inner, fr: fr}
+}
+
+func (h *tracedHandler) Enabled(ctx context.Context, lvl slog.Level) bool {
+	return h.inner.Enabled(ctx, lvl)
+}
+
+func (h *tracedHandler) Handle(ctx context.Context, rec slog.Record) error {
+	sp := tracing.SpanFromContext(ctx)
+	if sp.Sampled() {
+		rec.AddAttrs(
+			slog.String("trace", sp.Trace().String()),
+			slog.String("span", sp.ID().String()))
+	}
+	if h.fr != nil {
+		lr := tracing.LogRecord{
+			TimeUnixNano: rec.Time.UnixNano(),
+			Level:        rec.Level.String(),
+			Msg:          rec.Message,
+		}
+		if sp.Sampled() {
+			lr.Trace = sp.Trace().String()
+			lr.Span = sp.ID().String()
+		}
+		rec.Attrs(func(a slog.Attr) bool {
+			lr.Attrs = append(lr.Attrs, tracing.Attr{Key: a.Key, Value: a.Value.String()})
+			return true
+		})
+		h.fr.AddLog(lr)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *tracedHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &tracedHandler{inner: h.inner.WithAttrs(attrs), fr: h.fr}
+}
+
+func (h *tracedHandler) WithGroup(name string) slog.Handler {
+	return &tracedHandler{inner: h.inner.WithGroup(name), fr: h.fr}
+}
+
+// SetupTracedLogging is SetupLogging with the tracing decoration: the
+// installed default logger stamps trace/span IDs from record contexts
+// and feeds the flight recorder's log ring (fr may be nil).
+func SetupTracedLogging(w io.Writer, level string, fr *tracing.FlightRecorder) (slog.Level, error) {
+	lvl, err := ParseLogLevel(level)
+	if err != nil {
+		return 0, err
+	}
+	inner := slog.NewTextHandler(w, &slog.HandlerOptions{Level: lvl})
+	slog.SetDefault(slog.New(NewTracedHandler(inner, fr)))
+	return lvl, nil
+}

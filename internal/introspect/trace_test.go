@@ -1,0 +1,253 @@
+package introspect
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hbmsim/internal/tracing"
+)
+
+func TestHealthzEndpoint(t *testing.T) {
+	s := New(nil, nil)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "serving") {
+		t.Fatalf("healthy probe: status %d body %q", code, body)
+	}
+
+	s.SetHealth("draining: waiting for 2 jobs")
+	code, body = get(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("draining probe: status %d, want 503", code)
+	}
+	var doc map[string]string
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("draining body not JSON: %v", err)
+	}
+	if doc["status"] != "unavailable" || !strings.Contains(doc["reason"], "draining") {
+		t.Errorf("draining body = %v", doc)
+	}
+
+	s.SetHealth("")
+	if code, _ := get(t, srv, "/healthz"); code != http.StatusOK {
+		t.Fatalf("recovered probe: status %d, want 200", code)
+	}
+}
+
+func TestTraceEndpointDisabled(t *testing.T) {
+	srv := httptest.NewServer(New(nil, nil).Handler())
+	defer srv.Close()
+	if code, _ := get(t, srv, "/debug/trace"); code != http.StatusNotFound {
+		t.Fatalf("/debug/trace without a tracer: status %d, want 404", code)
+	}
+}
+
+// traceFixture builds a tracer with two finished traces (job 1, job 2)
+// and one still-open span under job 2.
+func traceFixture(t *testing.T) (*tracing.Tracer, tracing.Span) {
+	t.Helper()
+	tr := tracing.New(tracing.Options{})
+	ctx1, root1 := tr.StartRoot(context.Background(), "serve.job")
+	root1.SetAttr("job", "1")
+	_, c1 := tracing.StartSpan(ctx1, "serve.queue_wait")
+	c1.End()
+	root1.End()
+	_, root2 := tr.StartRoot(context.Background(), "serve.job")
+	root2.SetAttr("job", "2")
+	return tr, root2
+}
+
+func TestTraceEndpointJSONAndFilters(t *testing.T) {
+	tr, open := traceFixture(t)
+	defer open.End()
+	s := New(nil, nil)
+	s.EnableTrace(tr)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	read := func(path string) traceView {
+		code, body := get(t, srv, path)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, code)
+		}
+		var v traceView
+		if err := json.Unmarshal([]byte(body), &v); err != nil {
+			t.Fatalf("GET %s: not JSON: %v", path, err)
+		}
+		return v
+	}
+
+	all := read("/debug/trace")
+	if len(all.OpenSpans) != 1 || all.OpenSpans[0].Name != "serve.job" || !all.OpenSpans[0].Open {
+		t.Errorf("open spans = %+v", all.OpenSpans)
+	}
+	if len(all.RecentSpans) != 2 {
+		t.Errorf("got %d recent spans, want 2", len(all.RecentSpans))
+	}
+
+	byJob := read("/debug/trace?job=2")
+	if len(byJob.OpenSpans) != 1 || len(byJob.RecentSpans) != 0 {
+		t.Errorf("job=2 filter: open %d recent %d, want 1/0", len(byJob.OpenSpans), len(byJob.RecentSpans))
+	}
+	if byJob.OpenSpans[0].Trace != open.Trace().String() {
+		t.Errorf("job=2 returned trace %s, want %s", byJob.OpenSpans[0].Trace, open.Trace())
+	}
+
+	byTrace := read("/debug/trace?trace=" + open.Trace().String())
+	if len(byTrace.OpenSpans) != 1 {
+		t.Errorf("trace filter: open %d, want 1", len(byTrace.OpenSpans))
+	}
+	none := read("/debug/trace?job=99")
+	if len(none.OpenSpans)+len(none.RecentSpans) != 0 {
+		t.Errorf("unknown job filter returned spans: %+v", none)
+	}
+}
+
+func TestTraceEndpointPerfetto(t *testing.T) {
+	tr, open := traceFixture(t)
+	defer open.End()
+	s := New(nil, nil)
+	s.EnableTrace(tr)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/trace?format=perfetto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, "attachment") {
+		t.Errorf("Content-Disposition = %q, want attachment", cd)
+	}
+	var events []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		t.Fatalf("perfetto body not a JSON array: %v", err)
+	}
+	var slices int
+	for _, ev := range events {
+		if ev["ph"] == "X" {
+			slices++
+		}
+	}
+	if slices != 3 { // 2 finished + 1 open
+		t.Errorf("got %d slices, want 3", slices)
+	}
+}
+
+func TestTracedHandlerInjectsAndTees(t *testing.T) {
+	tr := tracing.New(tracing.Options{})
+	fr := tracing.NewFlightRecorder(tr, 16)
+	var buf bytes.Buffer
+	h := NewTracedHandler(slog.NewTextHandler(&buf, nil), fr)
+	logger := slog.New(h)
+
+	ctx, sp := tr.StartRoot(context.Background(), "serve.job")
+	defer sp.End()
+	logger.InfoContext(ctx, "picked up", "job", 7)
+	logger.Info("no span here")
+
+	out := buf.String()
+	if !strings.Contains(out, "trace="+sp.Trace().String()) || !strings.Contains(out, "span="+sp.ID().String()) {
+		t.Errorf("log line lacks trace/span attrs:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Contains(lines[1], "trace=") {
+		t.Errorf("span-less log line gained a trace attr: %s", lines[1])
+	}
+
+	logs := fr.Logs()
+	if len(logs) != 2 {
+		t.Fatalf("flight recorder captured %d records, want 2", len(logs))
+	}
+	if logs[0].Msg != "picked up" || logs[0].Trace != sp.Trace().String() {
+		t.Errorf("teed record = %+v", logs[0])
+	}
+	var gotJob bool
+	for _, a := range logs[0].Attrs {
+		if a.Key == "job" && a.Value == "7" {
+			gotJob = true
+		}
+	}
+	if !gotJob {
+		t.Errorf("teed record lost its attrs: %+v", logs[0].Attrs)
+	}
+	if logs[1].Trace != "" {
+		t.Errorf("span-less teed record carries trace %q", logs[1].Trace)
+	}
+}
+
+func TestTracedHandlerWithAttrsAndGroup(t *testing.T) {
+	var buf bytes.Buffer
+	h := NewTracedHandler(slog.NewTextHandler(&buf, nil), nil)
+	logger := slog.New(h).With("component", "sweep").WithGroup("g")
+	logger.Info("hello", "k", "v")
+	out := buf.String()
+	if !strings.Contains(out, "component=sweep") || !strings.Contains(out, "g.k=v") {
+		t.Errorf("WithAttrs/WithGroup not forwarded:\n%s", out)
+	}
+}
+
+func TestSetupTracedLogging(t *testing.T) {
+	prev := slog.Default()
+	defer slog.SetDefault(prev)
+
+	fr := tracing.NewFlightRecorder(nil, 8)
+	var buf bytes.Buffer
+	if _, err := SetupTracedLogging(&buf, "warn", fr); err != nil {
+		t.Fatal(err)
+	}
+	slog.Info("dropped")
+	slog.Warn("kept")
+	if strings.Contains(buf.String(), "dropped") || !strings.Contains(buf.String(), "kept") {
+		t.Errorf("level filter broken:\n%s", buf.String())
+	}
+	logs := fr.Logs()
+	if len(logs) != 1 || logs[0].Msg != "kept" || logs[0].Level != "WARN" {
+		t.Errorf("flight recorder logs = %+v", logs)
+	}
+
+	if _, err := SetupTracedLogging(&buf, "nope", nil); err == nil {
+		t.Error("SetupTracedLogging accepted an unknown level")
+	}
+}
+
+func TestSetupLogging(t *testing.T) {
+	prev := slog.Default()
+	defer slog.SetDefault(prev)
+
+	var buf bytes.Buffer
+	lvl, err := SetupLogging(&buf, "error")
+	if err != nil || lvl != slog.LevelError {
+		t.Fatalf("SetupLogging: %v %v", lvl, err)
+	}
+	slog.Warn("dropped")
+	slog.Error("kept")
+	if strings.Contains(buf.String(), "dropped") || !strings.Contains(buf.String(), "kept") {
+		t.Errorf("level filter broken:\n%s", buf.String())
+	}
+	if _, err := SetupLogging(&buf, "bogus"); err == nil {
+		t.Error("SetupLogging accepted an unknown level")
+	}
+}
+
+func TestIndexMentionsTraceEndpoints(t *testing.T) {
+	srv := httptest.NewServer(New(nil, nil).Handler())
+	defer srv.Close()
+	code, body := get(t, srv, "/")
+	if code != http.StatusOK {
+		t.Fatalf("/ status %d", code)
+	}
+	for _, want := range []string{"/healthz", "/debug/trace"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index page does not mention %s:\n%s", want, body)
+		}
+	}
+}

@@ -133,6 +133,94 @@ func TestMetricNamingConformance(t *testing.T) {
 	}
 }
 
+// TestSpanNamingConformance applies the same discipline to trace span
+// names: every string-literal name passed to StartSpan / StartRoot /
+// StartLinked (the name is the last argument on all three) must be
+// dotted lowercase — `component.operation` like serve.queue_wait or
+// core.checkpoint.save — and each name may be introduced by only one
+// package, so a span name seen on /debug/trace or in a flight-recorder
+// dump identifies its instrumentation site unambiguously.
+func TestSpanNamingConformance(t *testing.T) {
+	root := moduleRoot(t)
+	nameRE := regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$`)
+
+	type site struct {
+		pos string
+		pkg string
+	}
+	seen := map[string][]site{}
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || name == "vendor" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "StartSpan", "StartRoot", "StartLinked":
+			default:
+				return true
+			}
+			lit, ok := call.Args[len(call.Args)-1].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			rel, _ := filepath.Rel(root, path)
+			seen[name] = append(seen[name], site{
+				pos: rel + ":" + strconv.Itoa(fset.Position(lit.Pos()).Line),
+				pkg: filepath.Dir(rel),
+			})
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 {
+		t.Fatal("scan found no span starts; the walker is broken")
+	}
+
+	for name, sites := range seen {
+		first := sites[0]
+		if !nameRE.MatchString(name) {
+			t.Errorf("%s: span name %q is not dotted lowercase (component.operation)", first.pos, name)
+		}
+		for _, s := range sites[1:] {
+			if s.pkg != first.pkg {
+				t.Errorf("span name %q started by two packages (%s and %s); names must identify one instrumentation site",
+					name, first.pos, s.pos)
+			}
+		}
+	}
+}
+
 // moduleRoot walks up from the package directory to the go.mod.
 func moduleRoot(t *testing.T) string {
 	t.Helper()

@@ -408,6 +408,10 @@ type View struct {
 	SubmittedUnix int64 `json:"submitted_unix,omitempty"`
 	StartedUnix   int64 `json:"started_unix,omitempty"`
 	FinishedUnix  int64 `json:"finished_unix,omitempty"`
+	// TraceID is the job's trace ID (32 hex digits) when the service runs
+	// with tracing and the job's trace was sampled: resolve it on
+	// /debug/trace?trace=<id> or download its Perfetto rendering there.
+	TraceID string `json:"trace_id,omitempty"`
 	// Recovered marks a job re-enqueued by crash recovery at least once.
 	Recovered bool          `json:"recovered,omitempty"`
 	Progress  *ProgressView `json:"progress,omitempty"`

@@ -17,6 +17,7 @@ import (
 	"hbmsim/internal/metrics"
 	"hbmsim/internal/sweep"
 	"hbmsim/internal/trace"
+	"hbmsim/internal/tracing"
 )
 
 // Service errors surfaced to submitters.
@@ -80,6 +81,16 @@ type Options struct {
 	// progress change with the job's fresh view. Calls may be concurrent
 	// across jobs; keep it cheap.
 	OnUpdate func(View)
+	// Tracer, when non-nil, opens one span tree per job — admit,
+	// queue-wait, run, checkpoint writes, journal fsyncs — and each job's
+	// View carries its trace ID so /debug/trace can resolve it. A nil
+	// Tracer makes every instrumented path a no-op.
+	Tracer *tracing.Tracer
+	// FlightRecorder, when non-nil, is dumped to Dir ("flightrec-*.json")
+	// when a job panics, before the panic is converted into the job's
+	// error — the post-mortem for the one failure mode that leaves no
+	// journal trail.
+	FlightRecorder *tracing.FlightRecorder
 
 	// testHookBeforeJob, when set, runs in the worker just before a job
 	// executes — tests use it to hold a worker busy deterministically.
@@ -123,6 +134,15 @@ type job struct {
 	cancel    context.CancelCauseFunc // non-nil while running
 	cancelled bool                    // user cancel requested
 
+	// Tracing state: traceCtx carries the job's root span for child spans;
+	// enqueued timestamps the latest queue entry (admission or recovery)
+	// for the queue-wait histogram. All are written before the job is
+	// visible to workers and read-only afterwards.
+	traceCtx context.Context
+	span     tracing.Span // serve.job root, ends with the terminal state
+	qspan    tracing.Span // serve.queue_wait, ends at worker pickup
+	enqueued time.Time
+
 	subs map[chan View]struct{}
 }
 
@@ -133,6 +153,7 @@ type instruments struct {
 	started, finished, failed, cancelled *metrics.Counter
 	queueDepth, running, workers         *metrics.Gauge
 	jobSeconds                           *metrics.Histogram
+	queueWait, checkpointWrite           *metrics.Histogram
 }
 
 func newInstruments(reg *metrics.Registry) instruments {
@@ -150,6 +171,14 @@ func newInstruments(reg *metrics.Registry) instruments {
 		workers: reg.Gauge("serve_workers", "size of the job worker pool"),
 		jobSeconds: reg.Histogram("serve_job_seconds", "per-job wall time in seconds",
 			metrics.ExpBuckets(0.001, 2, 24)),
+		// 0.1ms .. ~14min: queue waits span "instant pickup" to "stuck
+		// behind a paper-scale sweep".
+		queueWait: reg.Histogram("serve_queue_wait_seconds",
+			"seconds jobs spend admitted but not yet running",
+			metrics.ExpBuckets(0.0001, 2, 24)),
+		checkpointWrite: reg.Histogram("serve_checkpoint_write_seconds",
+			"wall seconds per atomic sim checkpoint write (serialize + fsync + rename)",
+			metrics.ExpBuckets(0.0001, 2, 20)),
 	}
 }
 
@@ -254,9 +283,38 @@ func (s *Service) replay(recs []manifestRecord) {
 		j.recovered = true
 		s.queue = append(s.queue, j)
 		s.ins.recovered.Inc()
-		slog.Info("recovered unfinished job", "job", j.id, "kind", j.spec.Kind,
-			"resumable", j.fingerprint != 0)
+		s.startJobTrace(j, true)
+		_, rsp := tracing.StartSpan(j.traceCtx, "serve.recover")
+		rsp.SetAttrBool("resumable", j.fingerprint != 0)
+		rsp.End()
+		s.enterQueueTrace(j)
+		slog.InfoContext(j.traceCtx, "recovered unfinished job", "job", j.id,
+			"kind", j.spec.Kind, "resumable", j.fingerprint != 0)
 	}
+}
+
+// startJobTrace opens the job's root span ("serve.job"). The root ends
+// with the job's terminal state in finishLocked — or at shutdown rewind,
+// since the restarted process opens a fresh root for the resumed run
+// (marked recovered=true, so resumed lifecycles are visibly distinct).
+func (s *Service) startJobTrace(j *job, recovered bool) {
+	ctx, sp := s.opts.Tracer.StartRoot(context.Background(), "serve.job")
+	sp.SetAttrUint("job", j.id)
+	sp.SetAttr("kind", string(j.spec.Kind))
+	if j.spec.Name != "" {
+		sp.SetAttr("name", j.spec.Name)
+	}
+	if recovered {
+		sp.SetAttrBool("recovered", true)
+	}
+	j.traceCtx, j.span = ctx, sp
+}
+
+// enterQueueTrace marks the job queued: the queue-wait span opens and
+// the pickup clock (serve_queue_wait_seconds) starts.
+func (s *Service) enterQueueTrace(j *job) {
+	j.enqueued = time.Now()
+	_, j.qspan = tracing.StartSpan(j.traceCtx, "serve.queue_wait")
 }
 
 // Submit validates and admits one job: the spec is journaled to the
@@ -284,11 +342,17 @@ func (s *Service) Submit(spec Spec) (View, error) {
 		submitted: time.Now(),
 		subs:      make(map[chan View]struct{}),
 	}
+	s.startJobTrace(j, false)
+	_, asp := tracing.StartSpan(j.traceCtx, "serve.admit")
 	if err := s.man.append(manifestRecord{
 		Op: "submit", ID: j.id, Spec: j.spec, Unix: j.submitted.Unix(),
 	}); err != nil {
+		asp.EndErr(err)
+		j.span.EndErr(err)
 		return View{}, err
 	}
+	asp.End()
+	s.enterQueueTrace(j)
 	s.nextID++
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
@@ -348,6 +412,8 @@ func (s *Service) Cancel(id uint64) (View, error) {
 			}
 		}
 		s.ins.queueDepth.Set(int64(len(s.queue)))
+		j.qspan.End()
+		j.span.SetAttr("cancel_cause", "cancel")
 		s.finishLocked(j, StateCancelled, errCancelled.Error(), nil)
 	default: // running
 		j.cancelled = true
@@ -398,8 +464,11 @@ func (s *Service) Stats() Stats {
 // and snapshots. Call Close afterwards to stop the workers and release
 // the manifest.
 func (s *Service) Drain(ctx context.Context) error {
+	_, dsp := s.opts.Tracer.StartRoot(context.Background(), "serve.drain")
 	s.mu.Lock()
 	s.draining = true
+	dsp.SetAttrInt("queued", int64(len(s.queue)))
+	dsp.SetAttrInt("running", int64(s.runningN))
 	s.cond.Broadcast()
 	s.mu.Unlock()
 
@@ -414,6 +483,7 @@ func (s *Service) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-idle:
+		dsp.End()
 		return nil
 	case <-ctx.Done():
 		// Interrupt in-flight work; jobs observe errShutdown and unwind
@@ -421,7 +491,9 @@ func (s *Service) Drain(ctx context.Context) error {
 		// workers return their jobs.
 		s.baseCancel(errShutdown)
 		<-idle
-		return fmt.Errorf("serve: drain interrupted: %w", context.Cause(ctx))
+		err := fmt.Errorf("serve: drain interrupted: %w", context.Cause(ctx))
+		dsp.EndErr(err)
+		return err
 	}
 }
 
@@ -454,6 +526,10 @@ func (s *Service) worker() {
 		s.queue = s.queue[1:]
 		j.state = StateRunning
 		j.started = time.Now()
+		j.qspan.End()
+		if !j.enqueued.IsZero() {
+			s.ins.queueWait.Observe(j.started.Sub(j.enqueued).Seconds())
+		}
 		j.progress, j.hasProg = sweep.Progress{}, false
 		s.runningN++
 		s.ins.queueDepth.Set(int64(len(s.queue)))
@@ -495,9 +571,15 @@ func (s *Service) run(j *job) {
 		}
 	}()
 
+	// The cancellation context and the job's trace context are built
+	// separately (cancellation descends from baseCtx, the span tree from
+	// admission), so graft the root span on before opening the run span.
+	runCtx, runSpan := tracing.StartSpan(tracing.ContextWithSpan(ctx, j.span), "serve.run")
+
 	t0 := time.Now()
-	payload, err := s.dispatch(ctx, j)
+	payload, err := s.dispatch(runCtx, j)
 	s.ins.jobSeconds.Observe(time.Since(t0).Seconds())
+	runSpan.EndErr(err)
 
 	cause := context.Cause(ctx)
 	s.mu.Lock()
@@ -509,11 +591,16 @@ func (s *Service) run(j *job) {
 		// manifest record; the next Open re-enqueues and resumes the job.
 		j.state = StateQueued
 		j.started = time.Time{}
-		slog.Info("job interrupted by shutdown; will resume on restart", "job", j.id)
+		j.span.SetAttr("cancel_cause", "shutdown")
+		j.span.SetAttr("outcome", "interrupted")
+		j.span.End()
+		slog.InfoContext(j.traceCtx, "job interrupted by shutdown; will resume on restart", "job", j.id)
 		s.notifyLocked(j)
 	case errors.Is(cause, errCancelled):
+		j.span.SetAttr("cancel_cause", "cancel")
 		s.finishLocked(j, StateCancelled, errCancelled.Error(), payload)
 	case errors.Is(cause, context.DeadlineExceeded):
+		j.span.SetAttr("cancel_cause", "deadline")
 		s.finishLocked(j, StateFailed,
 			fmt.Sprintf("deadline exceeded after %gs", j.spec.TimeoutSeconds), payload)
 	case err != nil:
@@ -529,6 +616,16 @@ func (s *Service) run(j *job) {
 func (s *Service) dispatch(ctx context.Context, j *job) (payload *Payload, err error) {
 	defer func() {
 		if p := recover(); p != nil {
+			// Dump the flight recorder before the panic is flattened into the
+			// job's error: open spans and recent logs from the moment of the
+			// panic are exactly what the post-mortem needs.
+			if fr := s.opts.FlightRecorder; fr != nil {
+				if path, derr := fr.DumpToDir(s.opts.Dir, fmt.Sprintf("panic in job %d: %v", j.id, p)); derr == nil {
+					slog.ErrorContext(ctx, "job panicked; flight recorder dumped", "job", j.id, "dump", path)
+				} else {
+					slog.ErrorContext(ctx, "job panicked; flight recorder dump failed", "job", j.id, "err", derr)
+				}
+			}
 			payload, err = nil, fmt.Errorf("job panicked: %v\n%s", p, debug.Stack())
 		}
 	}()
@@ -563,6 +660,7 @@ func (s *Service) checkFingerprint(j *job, wl *trace.Workload) error {
 	prev := j.fingerprint
 	j.fingerprint = fp
 	s.mu.Unlock()
+	j.span.SetAttr("fingerprint", fmt.Sprintf("%016x", fp))
 	if prev != 0 && prev != fp {
 		return fmt.Errorf("fingerprint mismatch: job was journaled as %016x but its spec now rebuilds %016x; "+
 			"refusing to resume (the workload generator or configuration changed across restarts)", prev, fp)
@@ -714,7 +812,7 @@ func (s *Service) finishLocked(j *job, state State, errMsg string, payload *Payl
 		} else {
 			errMsg = fmt.Sprintf("%s (and recording the outcome failed: %v)", errMsg, err)
 		}
-		slog.Error("recording job outcome failed", "job", j.id, "err", err)
+		slog.ErrorContext(j.traceCtx, "recording job outcome failed", "job", j.id, "err", err)
 	}
 	j.state = state
 	j.errMsg = errMsg
@@ -726,7 +824,13 @@ func (s *Service) finishLocked(j *job, state State, errMsg string, payload *Payl
 	case StateCancelled:
 		s.ins.cancelled.Inc()
 	}
-	slog.Info("job finished", "job", j.id, "state", state,
+	j.span.SetAttr("outcome", string(state))
+	if errMsg != "" {
+		j.span.EndErr(errors.New(errMsg))
+	} else {
+		j.span.End()
+	}
+	slog.InfoContext(j.traceCtx, "job finished", "job", j.id, "state", state,
 		"elapsed", time.Since(j.started).Round(time.Millisecond))
 	s.notifyLocked(j)
 }
@@ -740,6 +844,9 @@ func (s *Service) viewLocked(j *job, withSpec, withResult bool) View {
 		State:     j.state,
 		Error:     j.errMsg,
 		Recovered: j.recovered,
+	}
+	if j.span.Sampled() {
+		v.TraceID = j.span.Trace().String()
 	}
 	if !j.submitted.IsZero() {
 		v.SubmittedUnix = j.submitted.Unix()

@@ -11,6 +11,7 @@ import (
 	"hbmsim/internal/sweep"
 	"hbmsim/internal/telemetry"
 	"hbmsim/internal/trace"
+	"hbmsim/internal/tracing"
 )
 
 // runSim executes a single-simulation job with a periodic atomic
@@ -33,7 +34,7 @@ func (s *Service) runSim(ctx context.Context, j *job) (*Payload, error) {
 		return nil, err
 	}
 	snapPath := s.jobFile(j.id, ".snap")
-	sim, err := s.buildSim(cfg, wl, snapPath)
+	sim, err := s.buildSim(ctx, cfg, wl, snapPath)
 	if err != nil {
 		return nil, err
 	}
@@ -59,7 +60,7 @@ func (s *Service) runSim(ctx context.Context, j *job) (*Payload, error) {
 	var steps uint64
 	for sim.Step() {
 		if every > 0 && sim.Tick()%every == 0 {
-			if err := writeSnapshot(sim, snapPath); err != nil {
+			if err := s.writeSnapshot(ctx, sim, snapPath); err != nil {
 				return nil, err
 			}
 		}
@@ -68,7 +69,7 @@ func (s *Service) runSim(ctx context.Context, j *job) (*Payload, error) {
 			// Interrupted: snapshot once more so a resume loses at most
 			// nothing (user cancels discard the job anyway; shutdowns
 			// restart exactly here).
-			if err := writeSnapshot(sim, snapPath); err != nil {
+			if err := s.writeSnapshot(ctx, sim, snapPath); err != nil {
 				return nil, err
 			}
 			return nil, context.Cause(ctx)
@@ -86,7 +87,7 @@ func (s *Service) runSim(ctx context.Context, j *job) (*Payload, error) {
 // when one exists (the crash-recovery path); a missing snapshot is a
 // fresh start, and a snapshot that fails to load fails the job rather
 // than silently recomputing — the mismatch means the spec changed.
-func (s *Service) buildSim(cfg core.Config, wl *trace.Workload, snapPath string) (*core.Sim, error) {
+func (s *Service) buildSim(ctx context.Context, cfg core.Config, wl *trace.Workload, snapPath string) (*core.Sim, error) {
 	f, err := os.Open(snapPath)
 	if os.IsNotExist(err) {
 		return core.New(cfg, wl.Raw())
@@ -95,7 +96,7 @@ func (s *Service) buildSim(cfg core.Config, wl *trace.Workload, snapPath string)
 		return nil, err
 	}
 	defer f.Close()
-	sim, err := core.Resume(f, cfg, wl.Raw())
+	sim, err := core.ResumeContext(ctx, f, cfg, wl.Raw())
 	if err != nil {
 		return nil, fmt.Errorf("resuming %s: %w", snapPath, err)
 	}
@@ -103,14 +104,27 @@ func (s *Service) buildSim(cfg core.Config, wl *trace.Workload, snapPath string)
 }
 
 // writeSnapshot checkpoints the simulator atomically: temp file, fsync,
-// rename. A crash mid-write leaves the previous snapshot intact.
-func writeSnapshot(sim *core.Sim, path string) error {
+// rename. A crash mid-write leaves the previous snapshot intact. Each
+// write is timed as a "serve.checkpoint_write" span (with the
+// serialisation itself nested as core.checkpoint.save) and observed in
+// the serve_checkpoint_write_seconds histogram.
+func (s *Service) writeSnapshot(ctx context.Context, sim *core.Sim, path string) error {
+	cctx, sp := tracing.StartSpan(ctx, "serve.checkpoint_write")
+	t0 := time.Now()
+	err := writeSnapshotFile(cctx, sim, path)
+	s.ins.checkpointWrite.Observe(time.Since(t0).Seconds())
+	sp.SetAttrUint("tick", uint64(sim.Tick()))
+	sp.EndErr(err)
+	return err
+}
+
+func writeSnapshotFile(ctx context.Context, sim *core.Sim, path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := sim.Checkpoint(f); err != nil {
+	if err := sim.CheckpointContext(ctx, f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err

@@ -1,0 +1,37 @@
+package sweep
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"hbmsim/internal/tracing"
+)
+
+// TestTracingDifferentialRowsIdentical is the tracing no-interference
+// guarantee at the sweep layer: running the same jobs under a sampling
+// tracer (sample 1.0, so every row span is live) produces rows deeply
+// equal to an untraced run, while the tracer actually records one
+// sweep.row.run span per row.
+func TestTracingDifferentialRowsIdentical(t *testing.T) {
+	plain := RunContext(context.Background(), journalJobs(6), Options{Workers: 2})
+
+	tr := tracing.New(tracing.Options{Sample: 1, RingSize: 64})
+	ctx, root := tr.StartRoot(context.Background(), "sweep.test_root")
+	traced := RunContext(ctx, journalJobs(6), Options{Workers: 2})
+	root.End()
+
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatalf("rows differ under tracing:\n got %+v\nwant %+v", traced, plain)
+	}
+
+	var rowSpans int
+	for _, rec := range tr.Recent() {
+		if rec.Name == "sweep.row.run" {
+			rowSpans++
+		}
+	}
+	if rowSpans != 6 {
+		t.Errorf("recorded %d sweep.row.run spans, want 6", rowSpans)
+	}
+}

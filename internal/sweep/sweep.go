@@ -23,6 +23,7 @@ import (
 	"hbmsim/internal/core"
 	"hbmsim/internal/metrics"
 	"hbmsim/internal/trace"
+	"hbmsim/internal/tracing"
 )
 
 // Job is one simulation point in a sweep.
@@ -151,6 +152,12 @@ func RunContext(ctx context.Context, jobs []Job, opts Options) []Row {
 		if opts.Resume && opts.Journal != nil {
 			if res, ok := opts.Journal.Lookup(jobs[i]); ok {
 				rows[i] = Row{Job: jobs[i], Result: res}
+				// A journal-restored row gets its own (instant) span so a
+				// resumed sweep's trace shows visibly which rows were
+				// recovered rather than recomputed.
+				_, rsp := tracing.StartSpan(ctx, "sweep.row.resume")
+				rsp.SetAttr("row", jobs[i].Name)
+				rsp.End()
 				continue
 			}
 		}
@@ -214,14 +221,20 @@ func RunContext(ctx context.Context, jobs []Job, opts Options) []Row {
 				ins.started.Inc()
 				ins.busy.Add(1)
 				t0 := time.Now()
+				rowCtx, rowSpan := tracing.StartSpan(ctx, "sweep.row.run")
+				rowSpan.SetAttr("row", jobs[i].Name)
 				rows[i] = runJob(jobs[i])
 				if opts.Journal != nil && rows[i].Err == nil && rows[i].Result != nil {
-					if err := opts.Journal.Record(jobs[i], rows[i].Result); err != nil {
+					_, jsp := tracing.StartSpan(rowCtx, "sweep.journal_fsync")
+					err := opts.Journal.Record(jobs[i], rows[i].Result)
+					jsp.EndErr(err)
+					if err != nil {
 						// Surface a broken journal rather than silently losing
 						// crash tolerance.
 						rows[i].Err = err
 					}
 				}
+				rowSpan.EndErr(rows[i].Err)
 				ins.jobSeconds.Observe(time.Since(t0).Seconds())
 				ins.busy.Add(-1)
 				ins.finished.Inc()

@@ -1,0 +1,35 @@
+package tracing
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkSpanStartEnd prices one sampled child-span lifecycle — the
+// per-row cost a traced sweep pays on top of the row itself.
+func BenchmarkSpanStartEnd(b *testing.B) {
+	tr := New(Options{RingSize: 1024})
+	ctx, root := tr.StartRoot(context.Background(), "bench.root")
+	defer root.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "bench.child")
+		sp.End()
+	}
+}
+
+// BenchmarkSpanStartEndNil prices the same lifecycle with tracing off —
+// the path every instrumented call site takes by default. It must stay
+// allocation-free (also asserted by TestNoopPathsAllocateNothing).
+func BenchmarkSpanStartEndNil(b *testing.B) {
+	var tr *Tracer
+	ctx, root := tr.StartRoot(context.Background(), "bench.root")
+	defer root.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "bench.child")
+		sp.End()
+	}
+}

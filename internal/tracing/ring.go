@@ -1,0 +1,40 @@
+package tracing
+
+// ring is a fixed-capacity buffer of finished spans: the newest cap
+// records win, the oldest fall off. It is not internally locked — the
+// owning Tracer's mutex guards it — which keeps End at one lock
+// acquisition.
+type ring struct {
+	buf  []SpanRecord
+	next int // index the next record lands at
+	full bool
+}
+
+func newRing(capacity int) *ring {
+	return &ring{buf: make([]SpanRecord, capacity)}
+}
+
+// add copies the record in (attributes are cloned so later snapshots
+// cannot observe exporter-side mutation; records are append-only after
+// End, but the clone makes that a local argument instead of a global
+// invariant).
+func (r *ring) add(rec *SpanRecord) {
+	c := *rec
+	c.Attrs = append([]Attr(nil), rec.Attrs...)
+	r.buf[r.next] = c
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+}
+
+// snapshot returns the buffered records, oldest first.
+func (r *ring) snapshot() []SpanRecord {
+	if !r.full {
+		return append([]SpanRecord(nil), r.buf[:r.next]...)
+	}
+	out := make([]SpanRecord, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

@@ -1,0 +1,66 @@
+package tracing
+
+import (
+	"encoding/hex"
+	"fmt"
+)
+
+// W3C Trace Context `traceparent` encoding (version 00):
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	^^ ^^^^^^^^^^^^^^^^ trace-id ^^^^^ ^^^ span-id ^^^^^ ^^ flags
+//
+// This is the wire format the ROADMAP's distributed-sweep coordinator
+// will propagate: a worker node continues the coordinator's trace by
+// decoding the header and calling Tracer.StartLinked. Only flag 0x01
+// (sampled) is defined here, matching the spec's level 1.
+
+// FlagSampled marks a trace whose root was sampled.
+const FlagSampled = 0x01
+
+// Traceparent renders the span's context as a W3C traceparent value.
+// A no-op span encodes as the all-zero (invalid) form with the sampled
+// flag clear, which decoders must reject — so an unsampled process
+// never accidentally forces sampling downstream.
+func (s Span) Traceparent() string {
+	if s.rec == nil {
+		return fmt.Sprintf("00-%032x-%016x-00", 0, 0)
+	}
+	return "00-" + s.rec.Trace.String() + "-" + s.rec.ID.String() + "-01"
+}
+
+// ParseTraceparent decodes a W3C traceparent value into its trace ID,
+// parent span ID, and flags. Unknown versions are rejected (per spec a
+// level-1 implementation may parse ff-free future versions, but this
+// repo has no peers emitting them, and strictness keeps the fuzzer
+// honest); so are all-zero IDs.
+func ParseTraceparent(s string) (TraceID, SpanID, byte, error) {
+	var trace TraceID
+	var span SpanID
+	if len(s) != 55 {
+		return trace, span, 0, fmt.Errorf("tracing: traceparent length %d, want 55", len(s))
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return trace, span, 0, fmt.Errorf("tracing: traceparent %q has misplaced separators", s)
+	}
+	if s[:2] != "00" {
+		return trace, span, 0, fmt.Errorf("tracing: traceparent version %q, want 00", s[:2])
+	}
+	if _, err := hex.Decode(trace[:], []byte(s[3:35])); err != nil {
+		return trace, span, 0, fmt.Errorf("tracing: traceparent trace-id: %w", err)
+	}
+	if _, err := hex.Decode(span[:], []byte(s[36:52])); err != nil {
+		return trace, span, 0, fmt.Errorf("tracing: traceparent span-id: %w", err)
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(s[53:55])); err != nil {
+		return trace, span, 0, fmt.Errorf("tracing: traceparent flags: %w", err)
+	}
+	if trace.IsZero() {
+		return trace, span, 0, fmt.Errorf("tracing: traceparent trace-id is all zero")
+	}
+	if span.IsZero() {
+		return trace, span, 0, fmt.Errorf("tracing: traceparent span-id is all zero")
+	}
+	return trace, span, flags[0], nil
+}

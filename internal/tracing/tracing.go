@@ -1,0 +1,420 @@
+// Package tracing is a dependency-free, allocation-conscious span layer
+// for the job service and the batch CLIs: where a run's wall-clock time
+// went (admission queue vs. checkpoint fsync vs. tick loop vs. journal
+// replay), stitched into causal trees by trace and span IDs.
+//
+// The design borrows OpenTelemetry's vocabulary — TraceID/SpanID, parent
+// links, attributes, W3C `traceparent` for cross-process propagation —
+// without its dependency graph: the package imports only the standard
+// library, and a nil *Tracer (or a context without one) turns every
+// operation into a no-op that performs no allocation, so instrumented
+// code paths cost nothing when tracing is off. Spans are coarse-grained
+// by construction (jobs, sweep rows, checkpoint writes — never per-tick
+// work), so the implementation favours simplicity over lock-free
+// cleverness: one mutex guards the ID generator, the active-span set,
+// the ring buffer, and the exporters.
+//
+// Three sinks consume finished spans:
+//
+//   - an in-process ring buffer (always on) backing the /debug/trace
+//     endpoint and the flight recorder,
+//   - Perfetto track-event JSON (WritePerfetto) for ui.perfetto.dev,
+//   - OTLP-compatible JSON lines (NewOTLPWriter) for offline tooling.
+//
+// See DESIGN.md §14 for the span model and the flight-recorder
+// invariants.
+package tracing
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"math/rand/v2"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// TraceID identifies one causal tree of spans (one job, one CLI run).
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID identifies one span within a trace.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// Attr is one span attribute. Values are stored pre-rendered as strings:
+// attributes exist to be read by humans and exporters, and rendering at
+// Set time keeps records immutable after End.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanRecord is the exported shape of a finished (or, for flight
+// recorder dumps, still-open) span.
+type SpanRecord struct {
+	Trace  TraceID
+	ID     SpanID
+	Parent SpanID // zero for a root span
+	Name   string
+	// Start is the span's wall-clock start; Duration is measured with the
+	// monotonic clock, so it is immune to wall-clock steps.
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []Attr
+	// Err carries the error the span ended with, if any.
+	Err string
+	// Open marks a span that had not ended when the record was
+	// snapshotted (flight recorder dumps); Duration is then "so far".
+	Open bool
+}
+
+// AttrValue returns the value of the named attribute, or "".
+func (r *SpanRecord) AttrValue(key string) string {
+	for _, a := range r.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Exporter receives each span as it ends, under the tracer's lock: keep
+// implementations cheap and never call back into the tracer.
+type Exporter interface {
+	ExportSpan(*SpanRecord)
+}
+
+// Options configures a Tracer.
+type Options struct {
+	// Sample is the head-sampling probability for new root spans in
+	// [0, 1]; child spans always follow their root's decision. 0 means
+	// sample everything (the zero value must be useful); use a Tracer of
+	// nil to disable tracing outright.
+	Sample float64
+	// RingSize bounds the in-process ring of finished spans (default
+	// 4096).
+	RingSize int
+	// Exporters receive every finished sampled span in End order.
+	Exporters []Exporter
+}
+
+// Tracer creates spans and owns the sinks. A nil *Tracer is a valid
+// no-op tracer: every method is nil-receiver safe and allocation-free.
+type Tracer struct {
+	sample    float64
+	exporters []Exporter
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	ring   *ring
+	active map[SpanID]*spanRec
+}
+
+// New builds a Tracer. The ID generator is seeded from crypto/rand so
+// concurrent processes never collide; span identity has no effect on
+// simulation results (pinned by the differential tests), so this is the
+// one intentionally nondeterministic corner of the repo.
+func New(opts Options) *Tracer {
+	if opts.Sample < 0 {
+		opts.Sample = 0
+	}
+	if opts.Sample == 0 {
+		opts.Sample = 1
+	}
+	if opts.Sample > 1 {
+		opts.Sample = 1
+	}
+	if opts.RingSize <= 0 {
+		opts.RingSize = 4096
+	}
+	var seed [16]byte
+	if _, err := cryptorand.Read(seed[:]); err != nil {
+		binary.LittleEndian.PutUint64(seed[:8], uint64(time.Now().UnixNano()))
+	}
+	return &Tracer{
+		sample:    opts.Sample,
+		exporters: opts.Exporters,
+		rng: rand.New(rand.NewPCG(
+			binary.LittleEndian.Uint64(seed[:8]),
+			binary.LittleEndian.Uint64(seed[8:]))),
+		ring:   newRing(opts.RingSize),
+		active: make(map[SpanID]*spanRec),
+	}
+}
+
+// spanRec is the mutable backing state of one live span. All fields
+// after construction are guarded by the owning tracer's mutex, because
+// the flight recorder and /debug/trace snapshot live spans from other
+// goroutines.
+type spanRec struct {
+	SpanRecord
+	startMono time.Time
+}
+
+// Span is a handle on one live span. The zero Span is a valid no-op:
+// every method checks for it, so instrumented code never branches on
+// "is tracing on". Spans are not goroutine-safe; end a span on the
+// goroutine that uses it (snapshots from other goroutines go through
+// the tracer's lock, not through Span).
+type Span struct {
+	tr  *Tracer
+	rec *spanRec
+}
+
+// Sampled reports whether the span records anything (false for the zero
+// Span and for spans suppressed by head sampling).
+func (s Span) Sampled() bool { return s.rec != nil }
+
+// Trace returns the span's trace ID (zero for a no-op span).
+func (s Span) Trace() TraceID {
+	if s.rec == nil {
+		return TraceID{}
+	}
+	return s.rec.Trace
+}
+
+// ID returns the span's own ID (zero for a no-op span).
+func (s Span) ID() SpanID {
+	if s.rec == nil {
+		return SpanID{}
+	}
+	return s.rec.ID
+}
+
+// SetAttr attaches a string attribute. Safe on a no-op span.
+func (s Span) SetAttr(key, value string) {
+	if s.rec == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.rec.Attrs = append(s.rec.Attrs, Attr{Key: key, Value: value})
+	s.tr.mu.Unlock()
+}
+
+// SetAttrInt attaches an integer attribute; the value is rendered only
+// when the span is sampled.
+func (s Span) SetAttrInt(key string, v int64) {
+	if s.rec == nil {
+		return
+	}
+	s.SetAttr(key, strconv.FormatInt(v, 10))
+}
+
+// SetAttrUint attaches an unsigned integer attribute.
+func (s Span) SetAttrUint(key string, v uint64) {
+	if s.rec == nil {
+		return
+	}
+	s.SetAttr(key, strconv.FormatUint(v, 10))
+}
+
+// SetAttrBool attaches a boolean attribute.
+func (s Span) SetAttrBool(key string, v bool) {
+	if s.rec == nil {
+		return
+	}
+	s.SetAttr(key, strconv.FormatBool(v))
+}
+
+// End finishes the span: its duration latches and the record moves from
+// the active set into the ring buffer and the exporters. End is
+// idempotent; a second End is ignored.
+func (s Span) End() { s.EndErr(nil) }
+
+// EndErr is End with the outcome error recorded on the span (nil err is
+// a plain End).
+func (s Span) EndErr(err error) {
+	if s.rec == nil {
+		return
+	}
+	tr, rec := s.tr, s.rec
+	tr.mu.Lock()
+	if _, live := tr.active[rec.ID]; !live {
+		tr.mu.Unlock()
+		return
+	}
+	delete(tr.active, rec.ID)
+	rec.Duration = time.Since(rec.startMono)
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	tr.ring.add(&rec.SpanRecord)
+	for _, e := range tr.exporters {
+		e.ExportSpan(&rec.SpanRecord)
+	}
+	tr.mu.Unlock()
+}
+
+// start creates a live span under the tracer's lock. parent may be zero.
+func (t *Tracer) start(trace TraceID, parent SpanID, name string) Span {
+	now := time.Now()
+	rec := &spanRec{
+		SpanRecord: SpanRecord{Parent: parent, Name: name, Start: now},
+		startMono:  now,
+	}
+	t.mu.Lock()
+	if trace.IsZero() {
+		binary.LittleEndian.PutUint64(rec.Trace[:8], t.rng.Uint64())
+		binary.LittleEndian.PutUint64(rec.Trace[8:], t.rng.Uint64())
+	} else {
+		rec.Trace = trace
+	}
+	for rec.ID.IsZero() {
+		binary.LittleEndian.PutUint64(rec.ID[:], t.rng.Uint64())
+	}
+	t.active[rec.ID] = rec
+	t.mu.Unlock()
+	return Span{tr: t, rec: rec}
+}
+
+// sampleRoot decides head sampling for a new root span.
+func (t *Tracer) sampleRoot() bool {
+	if t.sample >= 1 {
+		return true
+	}
+	t.mu.Lock()
+	ok := t.rng.Float64() < t.sample
+	t.mu.Unlock()
+	return ok
+}
+
+// StartRoot opens a new root span (a fresh trace) and returns a context
+// carrying it for child spans. On a nil tracer — or when head sampling
+// suppresses the trace — the returned context still carries the
+// decision, so the whole subtree is consistently off. Span names are
+// dotted lowercase ("serve.job") and checked by the repo's naming
+// conformance test; pass the name as a literal.
+func (t *Tracer) StartRoot(ctx context.Context, name string) (context.Context, Span) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if t == nil {
+		return ctx, Span{}
+	}
+	if !t.sampleRoot() {
+		// Mark the subtree suppressed: descendants see a span with a tracer
+		// but no record and stay no-ops instead of starting orphan roots.
+		sp := Span{tr: t}
+		return context.WithValue(ctx, spanKey{}, sp), sp
+	}
+	sp := t.start(TraceID{}, SpanID{}, name)
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// StartLinked opens a root span that continues a remote trace — the
+// multi-node propagation path: decode the peer's `traceparent` header
+// and pass its IDs here. Remote continuations bypass head sampling (the
+// root made the decision).
+func (t *Tracer) StartLinked(ctx context.Context, trace TraceID, parent SpanID, name string) (context.Context, Span) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if t == nil || trace.IsZero() {
+		return t.StartRoot(ctx, name)
+	}
+	sp := t.start(trace, parent, name)
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// spanKey carries a Span in a context.
+type spanKey struct{}
+
+// SpanFromContext returns the innermost span carried by ctx (the zero
+// Span when there is none). Nil-safe.
+func SpanFromContext(ctx context.Context) Span {
+	if ctx == nil {
+		return Span{}
+	}
+	sp, _ := ctx.Value(spanKey{}).(Span)
+	return sp
+}
+
+// ContextWithSpan returns ctx carrying sp — the bridge for code that
+// builds its cancellation context separately from its trace context
+// (serve derives job contexts from the service's base context, then
+// grafts the job's span on).
+func ContextWithSpan(ctx context.Context, sp Span) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if sp.tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// StartSpan opens a child of the span carried by ctx and returns a
+// context carrying the child. When ctx carries no span — or a
+// suppressed or no-op one — StartSpan is free: no allocation, no lock,
+// same ctx back. This is the one call sites use; roots come from
+// StartRoot.
+func StartSpan(ctx context.Context, name string) (context.Context, Span) {
+	if ctx == nil {
+		return context.Background(), Span{}
+	}
+	parent, _ := ctx.Value(spanKey{}).(Span)
+	if parent.rec == nil {
+		// No span, a nil-tracer span, or a sampling-suppressed subtree:
+		// stay a no-op without disturbing the context.
+		return ctx, Span{}
+	}
+	sp := parent.tr.start(parent.rec.Trace, parent.rec.ID, name)
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// Active snapshots the spans that have started but not ended, oldest
+// first, with Duration set to "elapsed so far" and Open marked. This is
+// the flight recorder's "what was the process doing" view.
+func (t *Tracer) Active() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SpanRecord, 0, len(t.active))
+	for _, rec := range t.active {
+		r := rec.SpanRecord
+		r.Attrs = append([]Attr(nil), rec.Attrs...)
+		r.Duration = time.Since(rec.startMono)
+		r.Open = true
+		out = append(out, r)
+	}
+	t.mu.Unlock()
+	sortRecords(out)
+	return out
+}
+
+// Recent snapshots the ring of finished spans, oldest first. Nil-safe.
+func (t *Tracer) Recent() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := t.ring.snapshot()
+	t.mu.Unlock()
+	return out
+}
+
+// sortRecords orders records by start time (stable across maps).
+func sortRecords(recs []SpanRecord) {
+	// Insertion sort: active sets are small (bounded by live jobs × span
+	// depth) and the dependency-free constraint is worth more than
+	// O(n log n) here.
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && recs[j].Start.Before(recs[j-1].Start); j-- {
+			recs[j], recs[j-1] = recs[j-1], recs[j]
+		}
+	}
+}
