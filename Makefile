@@ -8,7 +8,7 @@ BENCHTIME ?= 0.5s
 # Each benchmark runs BENCH_COUNT times and benchjson keeps the fastest
 # run, so snapshots (and the bench-diff gate) resist machine noise.
 BENCH_COUNT ?= 3
-BENCH_OUT ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR8.json
 # bench-diff compares the previous PR's committed snapshot against the
 # current one and fails on regressions past BENCH_THRESHOLD percent.
 # 25% rather than benchjson's 15% default: cross-binary comparisons of
@@ -16,7 +16,7 @@ BENCH_OUT ?= BENCH_PR7.json
 # (linking new packages moves hot loops across cache-line boundaries),
 # and allocs/op — which is deterministic — is still gated tightly by the
 # same threshold.
-BENCH_BASE ?= BENCH_PR6.json
+BENCH_BASE ?= BENCH_PR7.json
 BENCH_THRESHOLD ?= 25
 
 # fuzz-smoke runs each fuzzer briefly inside `make check`; the standalone
@@ -24,12 +24,13 @@ BENCH_THRESHOLD ?= 25
 SMOKE_FUZZTIME ?= 5s
 
 # cover knobs: the overall floor is deliberately conservative; the
-# per-package floors cover the optimality-telemetry layer this repo's
+# per-package floors cover the simulation kernel (tick loop, fast-forward
+# batcher, checkpointing) and the optimality-telemetry layer this repo's
 # correctness argument leans on hardest, plus the tracing/introspection
 # layer operators debug production incidents with.
 COVER_OUT ?= coverage.out
 COVER_FLOOR ?= 70
-COVER_FLOOR_PKGS ?= hbmsim/internal/lowerbound hbmsim/internal/stackdist hbmsim/internal/telemetry hbmsim/internal/metrics hbmsim/internal/introspect hbmsim/internal/tracing
+COVER_FLOOR_PKGS ?= hbmsim/internal/core hbmsim/internal/lowerbound hbmsim/internal/stackdist hbmsim/internal/telemetry hbmsim/internal/metrics hbmsim/internal/introspect hbmsim/internal/tracing
 
 .PHONY: all check build vet test test-short test-race bench bench-json bench-diff cover profile fuzz fuzz-smoke docsmoke repro repro-full figures clean
 
@@ -113,6 +114,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadText -fuzztime=30s ./internal/trace/
 	$(GO) test -fuzz=FuzzCheckpointRoundTrip -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzResumeCorrupt -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzFastForwardDifferential -fuzztime=30s ./internal/core/
 
 # Quick fuzzing smoke for `make check`: a few seconds per fuzzer, enough
 # to catch gross codec or snapshot-validation breakage.
@@ -121,6 +123,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadText -fuzztime=$(SMOKE_FUZZTIME) ./internal/trace/
 	$(GO) test -fuzz=FuzzCheckpointRoundTrip -fuzztime=$(SMOKE_FUZZTIME) ./internal/core/
 	$(GO) test -fuzz=FuzzResumeCorrupt -fuzztime=$(SMOKE_FUZZTIME) ./internal/core/
+	$(GO) test -fuzz=FuzzFastForwardDifferential -fuzztime=$(SMOKE_FUZZTIME) ./internal/core/
 
 # Doc-drift gate: every fenced sh/go block in the listed docs must match
 # the tree — Go examples compile, documented flags exist, make targets

@@ -19,7 +19,7 @@ func TestRunObservedCheckpointResume(t *testing.T) {
 	dir := t.TempDir()
 	snap := filepath.Join(dir, "run.snap")
 
-	res, _, err := runObserved(context.Background(), cfg, wl, telemetryOptions{
+	res, _, _, err := runObserved(context.Background(), cfg, wl, telemetryOptions{
 		checkpointEvery: 2,
 		checkpointPath:  snap,
 	})
@@ -33,7 +33,7 @@ func TestRunObservedCheckpointResume(t *testing.T) {
 		t.Fatalf("temp snapshot left behind: %v", err)
 	}
 
-	resumed, _, err := runObserved(context.Background(), cfg, wl, telemetryOptions{resumePath: snap})
+	resumed, _, _, err := runObserved(context.Background(), cfg, wl, telemetryOptions{resumePath: snap})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestRunObservedCheckpointResume(t *testing.T) {
 	// A mismatched config must be refused, not silently resumed.
 	other := cfg
 	other.Seed++
-	if _, _, err := runObserved(context.Background(), other, wl, telemetryOptions{resumePath: snap}); err == nil {
+	if _, _, _, err := runObserved(context.Background(), other, wl, telemetryOptions{resumePath: snap}); err == nil {
 		t.Fatal("resume under a different config should fail")
 	}
 }

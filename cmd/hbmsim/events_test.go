@@ -16,7 +16,7 @@ import (
 func TestRunObservedEventLog(t *testing.T) {
 	wl := hbmsim.NewWorkload("w", []hbmsim.Trace{{0, 1, 0}, {5}})
 	path := filepath.Join(t.TempDir(), "events.csv")
-	res, _, err := runObserved(context.Background(), hbmsim.Config{HBMSlots: 4, Channels: 1}, wl,
+	res, _, _, err := runObserved(context.Background(), hbmsim.Config{HBMSlots: 4, Channels: 1}, wl,
 		telemetryOptions{eventsPath: path})
 	if err != nil {
 		t.Fatal(err)
@@ -71,7 +71,7 @@ func TestRunObservedAllCollectors(t *testing.T) {
 		Channels: 1, Arbiter: hbmsim.ArbiterPriority,
 		Permuter: hbmsim.PermuterDynamic, RemapPeriod: 128, Seed: 1,
 	}
-	res, col, err := runObserved(context.Background(), cfg, wl, opts)
+	res, col, _, err := runObserved(context.Background(), cfg, wl, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestRunObservedAllCollectors(t *testing.T) {
 
 func TestRunObservedBadPath(t *testing.T) {
 	wl := hbmsim.NewWorkload("w", []hbmsim.Trace{{0}})
-	if _, _, err := runObserved(context.Background(), hbmsim.Config{HBMSlots: 4, Channels: 1}, wl,
+	if _, _, _, err := runObserved(context.Background(), hbmsim.Config{HBMSlots: 4, Channels: 1}, wl,
 		telemetryOptions{eventsPath: filepath.Join(t.TempDir(), "nodir", "x.csv")}); err == nil {
 		t.Fatal("unwritable path accepted")
 	}

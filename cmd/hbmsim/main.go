@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"time"
 
 	"hbmsim"
 
@@ -169,10 +170,11 @@ func main() {
 	}
 	var res *hbmsim.Result
 	var col *collectors
+	var rs runStats
 	if tele.enabled() {
-		res, col, err = runObserved(ctx, cfg, wl, tele)
+		res, col, rs, err = runObserved(ctx, cfg, wl, tele)
 	} else {
-		res, err = hbmsim.Run(cfg, wl)
+		res, rs, err = runPlain(cfg, wl)
 	}
 	if err != nil {
 		// A truncated run still has meaningful partial metrics; anything
@@ -213,6 +215,11 @@ func main() {
 	tbl.AddRow("max serve gap (starvation)", uint64(res.MaxServeGap))
 	tbl.AddRow("avg DRAM queue length", res.AvgQueueLen)
 	tbl.AddRow("far-channel utilization", res.ChannelUtilization)
+	if secs := rs.elapsed.Seconds(); secs > 0 {
+		tbl.AddRow("throughput (refs/s)", float64(res.TotalRefs)/secs)
+	}
+	tbl.AddRow("fast-forwarded ticks", rs.ffTicks)
+	tbl.AddRow("fast-forward stretches", rs.ffStretches)
 	if err := tbl.Render(os.Stdout); err != nil {
 		fail(err)
 	}
@@ -233,6 +240,30 @@ func main() {
 			fail(err)
 		}
 	}
+}
+
+// runPlain executes the simulation with no telemetry attached — the
+// fastest path, on which the fast-forward batcher can skip whole
+// contention-free stretches per Step — and reports wall-clock stats.
+func runPlain(cfg hbmsim.Config, wl *hbmsim.Workload) (*hbmsim.Result, runStats, error) {
+	var rs runStats
+	sim, err := hbmsim.NewSim(cfg, wl)
+	if err != nil {
+		return nil, rs, err
+	}
+	start := time.Now()
+	for sim.Step() {
+	}
+	rs = runStats{
+		elapsed:     time.Since(start),
+		ffTicks:     sim.FastForwardedTicks(),
+		ffStretches: sim.FastForwardedStretches(),
+	}
+	res := sim.Result()
+	if res.Truncated {
+		return res, rs, &hbmsim.TruncatedError{Ticks: res.Makespan, Unfinished: unfinished(res)}
+	}
+	return res, rs, nil
 }
 
 func loadWorkload(tracePath, gen string, cores, size, pageBytes int, seed int64) (*hbmsim.Workload, error) {

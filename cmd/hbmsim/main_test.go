@@ -74,7 +74,7 @@ func TestRunObservedWithMetricsMatchesPlain(t *testing.T) {
 	if !opts.enabled() {
 		t.Fatal("metrics registry alone should enable the observed path")
 	}
-	observed, _, err := runObserved(context.Background(), cfg, wl, opts)
+	observed, _, _, err := runObserved(context.Background(), cfg, wl, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -80,6 +80,14 @@ func (p *progressObserver) refresh() {
 	p.prog.Update(int(served), int(p.total), 0, elapsed, eta)
 }
 
+// runStats carries execution telemetry that lives outside the Result:
+// wall-clock duration of the step loop and the fast-forward counters.
+type runStats struct {
+	elapsed     time.Duration
+	ffTicks     uint64
+	ffStretches uint64
+}
+
 // collectors holds the attached telemetry consumers so their findings can
 // be rendered after the run.
 type collectors struct {
@@ -95,11 +103,15 @@ type collectors struct {
 
 // runObserved drives a stepwise simulation with the requested telemetry
 // observers attached and finalises their outputs.
-func runObserved(ctx context.Context, cfg hbmsim.Config, wl *hbmsim.Workload, opts telemetryOptions) (*hbmsim.Result, *collectors, error) {
+func runObserved(ctx context.Context, cfg hbmsim.Config, wl *hbmsim.Workload, opts telemetryOptions) (*hbmsim.Result, *collectors, runStats, error) {
+	var rs runStats
 	sim, err := buildSim(ctx, cfg, wl, opts.resumePath)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, rs, err
 	}
+	// The checkpoint cadence is polled between Steps, so the fast-forward
+	// path must never jump across a multiple of it.
+	sim.SetBoundary(opts.checkpointEvery)
 
 	multi := hbmsim.NewMultiObserver()
 	col := &collectors{timelinePath: opts.timelinePath, heatTop: opts.heatTop}
@@ -114,7 +126,7 @@ func runObserved(ctx context.Context, cfg hbmsim.Config, wl *hbmsim.Workload, op
 	if opts.eventsPath != "" {
 		f, err := os.Create(opts.eventsPath)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, rs, err
 		}
 		files = append(files, f)
 		events = hbmsim.NewEventLogNamed(f, wl.Name)
@@ -125,7 +137,7 @@ func runObserved(ctx context.Context, cfg hbmsim.Config, wl *hbmsim.Workload, op
 		f, err := os.Create(opts.perfettoPath)
 		if err != nil {
 			closeAll()
-			return nil, nil, err
+			return nil, nil, rs, err
 		}
 		files = append(files, f)
 		perfetto = hbmsim.NewPerfettoNamed(f, wl.Name, wl.Cores(), cfg.Channels)
@@ -173,6 +185,23 @@ func runObserved(ctx context.Context, cfg hbmsim.Config, wl *hbmsim.Workload, op
 		}
 	}
 
+	// Fast-forward execution counters, scrapable live on /metrics while
+	// the run executes; published incrementally at the dead-sink cadence.
+	var publishFF func()
+	if opts.metrics != nil {
+		ffTicks := opts.metrics.Counter("core_ff_ticks_total",
+			"simulation ticks executed by the core fast-forward path")
+		ffStretches := opts.metrics.Counter("core_ff_stretches_total",
+			"contention-free stretches batched by the core fast-forward path")
+		var lastT, lastS uint64
+		publishFF = func() {
+			t, s := sim.FastForwardedTicks(), sim.FastForwardedStretches()
+			ffTicks.Add(t - lastT)
+			ffStretches.Add(s - lastS)
+			lastT, lastS = t, s
+		}
+	}
+
 	sim.SetObserver(multi)
 	// Dead-sink detection cadence: a latched write error on a streaming
 	// sink (a full disk, a closed pipe) aborts the run within this many
@@ -180,27 +209,37 @@ func runObserved(ctx context.Context, cfg hbmsim.Config, wl *hbmsim.Workload, op
 	// partial file at the final flush.
 	const errCheckMask = 1<<12 - 1
 	var steps uint64
+	start := time.Now()
 	for sim.Step() {
 		if opts.checkpointEvery > 0 && sim.Tick()%opts.checkpointEvery == 0 {
 			if err := writeCheckpoint(ctx, sim, opts.checkpointPath); err != nil {
 				closeAll()
-				return nil, nil, err
+				return nil, nil, rs, err
 			}
 		}
 		steps++
 		if steps&errCheckMask == 0 {
 			if err := sinkErr(events, perfetto); err != nil {
 				closeAll()
-				return nil, nil, err
+				return nil, nil, rs, err
+			}
+			if publishFF != nil {
+				publishFF()
 			}
 		}
+	}
+	rs.elapsed = time.Since(start)
+	rs.ffTicks = sim.FastForwardedTicks()
+	rs.ffStretches = sim.FastForwardedStretches()
+	if publishFF != nil {
+		publishFF()
 	}
 	if opts.checkpointEvery > 0 {
 		// One final snapshot so a resume of a finished run reproduces its
 		// result without re-simulating.
 		if err := writeCheckpoint(ctx, sim, opts.checkpointPath); err != nil {
 			closeAll()
-			return nil, nil, err
+			return nil, nil, rs, err
 		}
 	}
 	res := sim.Result()
@@ -211,48 +250,48 @@ func runObserved(ctx context.Context, cfg hbmsim.Config, wl *hbmsim.Workload, op
 	if events != nil {
 		if err := events.Flush(); err != nil {
 			closeAll()
-			return res, nil, err
+			return res, nil, rs, err
 		}
 	}
 	if perfetto != nil {
 		if err := perfetto.Close(); err != nil {
 			closeAll()
-			return res, nil, err
+			return res, nil, rs, err
 		}
 	}
 	if col.timeline != nil {
 		f, err := os.Create(opts.timelinePath)
 		if err != nil {
 			closeAll()
-			return res, nil, err
+			return res, nil, rs, err
 		}
 		files = append(files, f)
 		if err := col.timeline.WriteCSV(f); err != nil {
 			closeAll()
-			return res, nil, err
+			return res, nil, rs, err
 		}
 	}
 	if col.tracker != nil && opts.optGapCSV != "" {
 		f, err := os.Create(opts.optGapCSV)
 		if err != nil {
 			closeAll()
-			return res, nil, err
+			return res, nil, rs, err
 		}
 		files = append(files, f)
 		if err := col.tracker.WriteCSV(f); err != nil {
 			closeAll()
-			return res, nil, err
+			return res, nil, rs, err
 		}
 	}
 	for _, f := range files {
 		if err := f.Close(); err != nil {
-			return res, nil, err
+			return res, nil, rs, err
 		}
 	}
 	if res.Truncated {
-		return res, col, &hbmsim.TruncatedError{Ticks: res.Makespan, Unfinished: unfinished(res)}
+		return res, col, rs, &hbmsim.TruncatedError{Ticks: res.Makespan, Unfinished: unfinished(res)}
 	}
-	return res, col, nil
+	return res, col, rs, nil
 }
 
 // sinkErr returns the first write error latched by a streaming sink, so

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -113,6 +114,120 @@ func benchSimObserver(b *testing.B, obs Observer) {
 		}
 	}
 	b.ReportMetric(float64(refs)*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+}
+
+// benchSimTraces is benchSim over a caller-supplied workload.
+func benchSimTraces(b *testing.B, cfg Config, ts [][]model.PageID) {
+	b.Helper()
+	var refs uint64
+	for _, tr := range ts {
+		refs += uint64(len(tr))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, ts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TotalRefs != refs {
+			b.Fatal("incomplete run")
+		}
+	}
+	b.ReportMetric(float64(refs)*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+}
+
+// hitStretchWorkload is the fast-forward path's best case: p cores, each
+// cycling a resident working set with a miss only every `period` refs,
+// so almost the whole run is contention-free stretches.
+func hitStretchWorkload(p, refsPerCore, span, period int) [][]model.PageID {
+	ts := make([][]model.PageID, p)
+	for i := range ts {
+		tr := make([]model.PageID, refsPerCore)
+		pos, extra := 0, span
+		for j := range tr {
+			if period > 0 && j%period == period-1 {
+				// A cold page: ends the stretch with a genuine miss.
+				tr[j] = model.PageID(i*100000 + extra)
+				extra++
+				continue
+			}
+			tr[j] = model.PageID(i*100000 + pos)
+			pos = (pos + 1) % span
+		}
+		ts[i] = tr
+	}
+	return ts
+}
+
+// BenchmarkSimHitStretch measures the fast-forward path on long pure-hit
+// runs under LRU (batched touches) across several core counts.
+func BenchmarkSimHitStretch(b *testing.B) {
+	for _, p := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			ts := hitStretchWorkload(p, 65536, 48, 2048)
+			benchSimTraces(b, Config{HBMSlots: 4096, Channels: 4}, ts)
+		})
+	}
+}
+
+// BenchmarkSimHitStretchFIFO is the same shape with a no-op Touch, where
+// a stretch folds without any policy replay at all.
+func BenchmarkSimHitStretchFIFO(b *testing.B) {
+	ts := hitStretchWorkload(8, 65536, 48, 2048)
+	benchSimTraces(b, Config{HBMSlots: 4096, Channels: 4, Replacement: replacement.FIFO}, ts)
+}
+
+// BenchmarkSimHitStretchUnbatched is the p=8 hit-stretch shape with the
+// fast-forward path disabled: the committed baseline the batched
+// benchmarks above are compared against.
+func BenchmarkSimHitStretchUnbatched(b *testing.B) {
+	cfg := Config{HBMSlots: 4096, Channels: 4}
+	ts := hitStretchWorkload(8, 65536, 48, 2048)
+	var refs uint64
+	for _, tr := range ts {
+		refs += uint64(len(tr))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(cfg, ts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.noFF = true
+		for s.Step() {
+		}
+		if s.Result().TotalRefs != refs {
+			b.Fatal("incomplete run")
+		}
+	}
+	b.ReportMetric(float64(refs)*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+}
+
+// zipfianHotspotWorkload draws each core's refs from a Zipf distribution
+// over its own page range: a hot head that stays resident (long
+// stretches) with a heavy tail of misses that break them — the realistic
+// middle ground between the hit-stretch and contended benchmarks.
+func zipfianHotspotWorkload(p, refsPerCore, pages int) [][]model.PageID {
+	ts := make([][]model.PageID, p)
+	rng := rand.New(rand.NewSource(3))
+	z := rand.NewZipf(rng, 1.2, 1, uint64(pages-1))
+	for i := range ts {
+		tr := make([]model.PageID, refsPerCore)
+		for j := range tr {
+			tr[j] = model.PageID(uint64(i*pages) + z.Uint64())
+		}
+		ts[i] = tr
+	}
+	return ts
+}
+
+// BenchmarkSimZipfianHotspot measures throughput on the Zipf hotspot mix,
+// where fast-forward engages opportunistically between misses.
+func BenchmarkSimZipfianHotspot(b *testing.B) {
+	ts := zipfianHotspotWorkload(16, 32768, 4096)
+	benchSimTraces(b, Config{HBMSlots: 8192, Channels: 4}, ts)
 }
 
 func BenchmarkSimObserverNil(b *testing.B) {

@@ -18,14 +18,17 @@ import (
 // On-disk format (all integers varint-encoded, see internal/snap):
 //
 //	magic "HBMSNAP1"          8 bytes
-//	format version            u64 (currently 1)
+//	format version            u64 (currently 2; version 2 replaced the
+//	                               queue-length Welford state with the
+//	                               exact integer depth sum and tick count)
 //	fingerprint               u64  FNV-1a over the defaulted Config and
 //	                               the workload's traces; Resume refuses
 //	                               a snapshot whose fingerprint does not
 //	                               match its own Config/workload
 //	'S' sim scalars           seq, tick, truncated flag, metrics
 //	                          (makespan/fetches/evictions/remaps, queue-
-//	                          length Welford, optional histogram)
+//	                          depth sum + sampled tick count, optional
+//	                          histogram)
 //	'C' per-core states       trace cursor, request tick, queued/done,
 //	                          completion, starvation gap, response stats
 //	'A' active set            core IDs, strictly ascending
@@ -47,7 +50,7 @@ import (
 
 // FormatVersion is the snapshot format version written by Checkpoint and
 // required by Resume.
-const FormatVersion = 1
+const FormatVersion = 2
 
 // snapMagic identifies an hbmsim snapshot file.
 var snapMagic = [8]byte{'H', 'B', 'M', 'S', 'N', 'A', 'P', '1'}
@@ -146,9 +149,9 @@ func combineFingerprint(configHash, workloadHash uint64) uint64 {
 // original ID — making the value identical to Fingerprint(cfg, raw).
 func (s *Sim) fingerprint() uint64 {
 	f := newFNV()
-	f.u64(uint64(len(s.cores)))
-	for i := range s.cores {
-		tr := s.cores[i].trace
+	f.u64(uint64(len(s.traces)))
+	for i := range s.traces {
+		tr := s.traces[i]
 		f.u64(uint64(len(tr)))
 		for _, p := range tr {
 			f.u64(uint64(s.orig(p)))
@@ -187,7 +190,8 @@ func (s *Sim) Checkpoint(wr io.Writer) error {
 	w.U64(s.fetches)
 	w.U64(s.evictions)
 	w.U64(s.remaps)
-	s.queueLen.SaveState(w)
+	w.U64(s.queueSum)
+	w.U64(s.queueTicks)
 	w.Bool(s.hist != nil)
 	if s.hist != nil {
 		s.hist.SaveState(w)
@@ -196,9 +200,9 @@ func (s *Sim) Checkpoint(wr io.Writer) error {
 	w.Tag(tagCores)
 	for i := range s.cores {
 		c := &s.cores[i]
-		w.Int(c.pos)
-		w.U64(uint64(c.reqTick))
-		w.Bool(c.queued)
+		w.Int(s.pos[i])
+		w.U64(uint64(s.reqTick[i]))
+		w.Bool(s.queued[i])
 		w.Bool(c.done)
 		w.U64(uint64(c.completion))
 		w.U64(uint64(c.lastServe))
@@ -303,7 +307,8 @@ func (s *Sim) loadState(r *snap.Reader) error {
 	s.fetches = r.U64()
 	s.evictions = r.U64()
 	s.remaps = r.U64()
-	s.queueLen.LoadState(r)
+	s.queueSum = r.U64()
+	s.queueTicks = r.U64()
 	if hasHist := r.Bool(); r.Err() == nil {
 		if hasHist != (s.hist != nil) {
 			r.Failf("core: snapshot histogram presence %v, config says %v", hasHist, s.hist != nil)
@@ -316,9 +321,9 @@ func (s *Sim) loadState(r *snap.Reader) error {
 	s.doneN = 0
 	for i := range s.cores {
 		c := &s.cores[i]
-		c.pos = r.Len(len(c.trace), "trace cursor")
-		c.reqTick = model.Tick(r.U64())
-		c.queued = r.Bool()
+		s.pos[i] = r.Len(len(s.traces[i]), "trace cursor")
+		s.reqTick[i] = model.Tick(r.U64())
+		s.queued[i] = r.Bool()
 		c.done = r.Bool()
 		c.completion = model.Tick(r.U64())
 		c.lastServe = model.Tick(r.U64())
@@ -330,8 +335,8 @@ func (s *Sim) loadState(r *snap.Reader) error {
 		}
 		if c.done {
 			s.doneN++
-		} else if c.pos >= len(c.trace) && len(c.trace) > 0 {
-			return fmt.Errorf("core: snapshot cursor %d at end of trace but core %d not done", c.pos, i)
+		} else if s.pos[i] >= len(s.traces[i]) && len(s.traces[i]) > 0 {
+			return fmt.Errorf("core: snapshot cursor %d at end of trace but core %d not done", s.pos[i], i)
 		}
 	}
 

@@ -121,11 +121,18 @@ func testCheckpointResume(t *testing.T, cfg Config, ts [][]model.PageID) {
 	}
 	recInt := &streamRecorder{}
 	interrupted.SetObserver(recInt)
+	// Declare the checkpoint cadence so the fast-forward path cannot jump
+	// past the checkpoint tick mid-stretch (the uninterrupted run stays
+	// unbounded — the constraint must not change what is simulated).
 	const ckptTick = 9
+	interrupted.SetBoundary(ckptTick)
 	for interrupted.Tick() < ckptTick && interrupted.Step() {
 	}
 	if interrupted.Done() {
 		t.Fatalf("workload too short: done before tick %d", ckptTick)
+	}
+	if got := interrupted.Tick(); got != ckptTick {
+		t.Fatalf("stepping overshot the checkpoint tick: at %d, want %d", got, ckptTick)
 	}
 	prefixLen := len(recInt.lines)
 	var buf, buf2 bytes.Buffer

@@ -93,9 +93,13 @@ func RunReference(cfg Config, traces [][]model.PageID) (*Result, error) {
 		fetches   uint64
 		evictions uint64
 		remaps    uint64
-		queueLen  stats.Welford
 		inflight  []arrival
 		truncated bool
+		// Exact integer queue-depth accumulation, mirroring Sim: the two
+		// implementations must agree bit-for-bit, and a streaming float
+		// mean would diverge from Sim's closed-form fast-forward fold.
+		queueSum   uint64
+		queueTicks uint64
 	)
 
 	for doneN < len(cores) {
@@ -204,7 +208,8 @@ func RunReference(cfg Config, traces [][]model.PageID) (*Result, error) {
 		if landed > 0 {
 			inflight = inflight[landed:]
 		}
-		queueLen.Add(float64(arb.Len()))
+		queueSum += uint64(arb.Len())
+		queueTicks++
 	}
 
 	res := &Result{
@@ -239,7 +244,9 @@ func RunReference(cfg Config, traces [][]model.PageID) (*Result, error) {
 	res.ResponseMean = all.Mean()
 	res.Inconsistency = all.StddevPop()
 	res.ResponseMax = all.Max()
-	res.AvgQueueLen = queueLen.Mean()
+	if queueTicks > 0 {
+		res.AvgQueueLen = float64(queueSum) / float64(queueTicks)
+	}
 	if makespan > 0 {
 		res.ChannelUtilization = float64(fetches) / (float64(cfg.Channels) * float64(makespan))
 	}

@@ -10,16 +10,13 @@ import (
 	"hbmsim/internal/stats"
 )
 
-// coreState tracks one core's progress through its reference sequence.
+// coreState holds one core's cold per-run accounting. The per-tick hot
+// fields — trace pointer, cursor, request tick, queued flag — live in
+// parallel slices on Sim (struct-of-arrays), so the tick loop and the
+// fast-forward scan stream flat arrays instead of striding through
+// per-core structs.
 type coreState struct {
-	trace []model.PageID
-	pos   int
-	// reqTick is the tick on which the current reference was first
-	// requested; response time is serveTick - reqTick + 1.
-	reqTick model.Tick
-	// queued is set while the core's request sits in the DRAM queue.
-	queued bool
-	done   bool
+	done bool
 
 	resp       respAcc
 	completion model.Tick
@@ -29,13 +26,23 @@ type coreState struct {
 	maxGap    model.Tick
 }
 
-func (c *coreState) cur() model.PageID { return c.trace[c.pos] }
-
 // Sim is a stepwise simulator. Construct with New, then call Step until it
 // returns false (or use Run). Not safe for concurrent use.
 type Sim struct {
-	cfg    Config
-	cores  []coreState
+	cfg   Config
+	cores []coreState
+
+	// Struct-of-arrays per-core hot state, indexed by CoreID.
+	traces [][]model.PageID
+	// pos is the trace cursor: traces[i][pos[i]] is core i's current
+	// reference.
+	pos []int
+	// reqTick is the tick on which the current reference was first
+	// requested; response time is serveTick - reqTick + 1.
+	reqTick []model.Tick
+	// queued is set while the core's request sits in the DRAM queue.
+	queued []bool
+
 	store  hbm.Store
 	arb    arbiter.Arbiter
 	perm   arbiter.Permuter
@@ -69,16 +76,73 @@ type Sim struct {
 	origOf []model.PageID
 	// universe is the dense page-ID universe size U from compaction; -1
 	// for the uncompacted differential-test path (which does not support
-	// checkpointing).
+	// checkpointing or fast-forwarding).
 	universe int
+
+	// Fast-forward state (see Step). noFF disables the batched path: set
+	// for uncompacted simulators, and by differential tests that pin the
+	// batched stepper against the plain one.
+	noFF bool
+	// touchNop records that store.Touch is a no-op for this configuration
+	// (direct-mapped stores, FIFO and Random replacement), so a stretch's
+	// touch replay can be skipped entirely.
+	touchNop bool
+	// batchT is the store's batched-touch entry point, asserted once.
+	batchT hbm.BatchToucher
+	// boundary is the caller's observation cadence (SetBoundary): Step
+	// never fast-forwards across a multiple of it.
+	boundary model.Tick
+	// ownerOf maps each dense page to the one core that references it
+	// (the model's sequences are disjoint, Property 1).
+	ownerOf []int32
+	// Next-miss scan cache, per core: refs [pos[i], scanTo[i]) are
+	// verified resident (scanTo[i] < pos[i] marks the cache invalid), and
+	// scanMiss[i] records that traces[i][scanTo[i]] was non-resident when
+	// scanned. scanGen[i] increments on every fresh rescan; pageGen[p] is
+	// stamped with the owner's generation when p is verified resident, so
+	// an eviction invalidates the owner's cache only when the page is
+	// actually inside the verified window (pageGen match) — keeping the
+	// scan amortised O(1) per serve even under eviction-heavy phases.
+	pageGen  []uint64
+	scanGen  []uint64
+	scanTo   []int
+	scanMiss []bool
+	// scansLive counts cores with a live cache (scanTo >= 0); eviction
+	// invalidation is skipped entirely while it is zero, so runs where
+	// the fast path never engages pay one branch per eviction, not three
+	// scattered loads.
+	scansLive int
+	// ffHold backs the attempt hold-off: after a disappointing attempt
+	// (stretch shorter than ffPayoff), the next ffHoldTicks slow ticks
+	// skip fast-forward attempts entirely. On thrashing workloads —
+	// constant evictions keep invalidating the scan caches and stretches
+	// never grow past a few ticks — attempts cost O(cores) each without
+	// paying for themselves; the hold-off caps that overhead at ~1/32 of
+	// the slow path. Purely a scheduling hint: it never changes which
+	// ticks are foldable, so Results, events, and snapshots are
+	// untouched, and it is deliberately not checkpointed.
+	ffHold int
+	// touchBuf is the reused scratch for batched touch replay.
+	touchBuf []model.PageID
+
+	// fast-forward telemetry: ticks and stretches executed by the batched
+	// path. Not part of Result or snapshots — the counters describe how a
+	// run was executed, not what it computed.
+	ffTicks     uint64
+	ffStretches uint64
 
 	// metrics
 	makespan  model.Tick
 	fetches   uint64
 	evictions uint64
 	remaps    uint64
-	queueLen  stats.Welford
-	hist      *stats.Histogram
+	// queueSum/queueTicks accumulate the end-of-tick DRAM-queue depth as
+	// exact integers (AvgQueueLen = queueSum/queueTicks), so the
+	// fast-forward path can fold a stretch of zero-depth samples in O(1)
+	// with bit-identical results.
+	queueSum   uint64
+	queueTicks uint64
+	hist       *stats.Histogram
 }
 
 // arrival is a granted fetch travelling down a far channel.
@@ -176,13 +240,30 @@ func newSim(cfg Config, traces [][]model.PageID, compact bool) (*Sim, error) {
 	// Channels*FetchLatency grants in flight — so the steady-state tick
 	// loop performs no allocations.
 	p := len(traces)
+	u := 0
+	if universe > 0 {
+		u = universe
+	}
+	// Same-typed per-core arrays share one backing allocation each (the
+	// three-index caps keep a future append from clobbering the sibling);
+	// construction stays a handful of allocations even with the
+	// fast-forward scan caches.
+	intBuf := make([]int, 2*p)
+	boolBuf := make([]bool, 2*p)
+	i32Buf := make([]int32, p+u)
 	s := &Sim{
 		cfg:        cfg,
 		store:      store,
 		arb:        arb,
 		perm:       perm,
 		cores:      make([]coreState, p),
-		pri:        make([]int32, p),
+		traces:     traces,
+		pos:        intBuf[:p:p],
+		scanTo:     intBuf[p:],
+		reqTick:    make([]model.Tick, p),
+		queued:     boolBuf[:p:p],
+		scanMiss:   boolBuf[p:],
+		pri:        i32Buf[:p:p],
 		origOf:     origOf,
 		universe:   universe,
 		active:     make([]model.CoreID, 0, p),
@@ -190,18 +271,20 @@ func newSim(cfg Config, traces [][]model.PageID, compact bool) (*Sim, error) {
 		candidates: make([]model.CoreID, 0, p),
 		inflight:   make([]arrival, 0, cfg.Channels*cfg.FetchLatency),
 	}
+	for i := range s.scanTo {
+		s.scanTo[i] = -1
+	}
 	if cfg.CollectHistogram {
 		s.hist = &stats.Histogram{}
 	}
 	var total uint64
 	for i, tr := range traces {
-		s.cores[i].trace = tr
 		s.pri[i] = int32(i)
 		if len(tr) == 0 {
 			s.cores[i].done = true
 			s.doneN++
 		} else {
-			s.cores[i].reqTick = 1
+			s.reqTick[i] = 1
 			s.active = append(s.active, model.CoreID(i))
 		}
 		total += uint64(len(tr))
@@ -215,10 +298,32 @@ func newSim(cfg Config, traces [][]model.PageID, compact bool) (*Sim, error) {
 		// k is within q of the working set, see DESIGN.md §4).
 		s.capT = 8*model.Tick(total+1) + 1024*model.Tick(len(traces)+cfg.HBMSlots+cfg.Channels)
 	}
+	if compact {
+		s.ownerOf = i32Buf[p:]
+		for ci, tr := range traces {
+			for _, pg := range tr {
+				s.ownerOf[pg] = int32(ci)
+			}
+		}
+		u64Buf := make([]uint64, u+p)
+		s.pageGen = u64Buf[:u:u]
+		s.scanGen = u64Buf[u:]
+		s.batchT, _ = store.(hbm.BatchToucher)
+		// Touch is a no-op exactly when no recency or clairvoyant state
+		// exists to update: direct-mapped slots, FIFO insertion order,
+		// Random's uniform victims. LRU, CLOCK, and Belady all observe
+		// touches, so their stretches replay batched Touches instead.
+		s.touchNop = cfg.Mapping == MappingDirect ||
+			cfg.Replacement == replacement.FIFO || cfg.Replacement == replacement.Random
+	} else {
+		s.noFF = true
+	}
 	return s, nil
 }
 
-// Tick returns the current tick (the number of Steps executed).
+// Tick returns the current simulation tick. A Step that fast-forwards a
+// contention-free stretch advances the tick by the whole stretch, so the
+// tick count can exceed the number of Step calls.
 func (s *Sim) Tick() model.Tick { return s.tick }
 
 // Done reports whether every core has finished.
@@ -229,14 +334,36 @@ func (s *Sim) Done() bool { return s.doneN == len(s.cores) }
 // cursors, which lets callers report monotone progress across restarts.
 func (s *Sim) Remaining() int {
 	n := 0
-	for i := range s.cores {
-		n += len(s.cores[i].trace) - s.cores[i].pos
+	for i := range s.traces {
+		n += len(s.traces[i]) - s.pos[i]
 	}
 	return n
 }
 
-// Step executes one tick and reports whether the simulation should
-// continue (false once all cores are done or the tick cap is hit).
+// SetBoundary declares the caller's observation cadence: Step will never
+// fast-forward across a tick that is a positive multiple of every
+// (landing exactly on one is allowed), so a caller that polls
+// Tick()%every == 0 between Steps — a checkpoint writer, a progress
+// poller — observes exactly the boundary ticks it would under
+// single-tick stepping. Zero (the default) removes the constraint.
+func (s *Sim) SetBoundary(every model.Tick) { s.boundary = every }
+
+// FastForwardedTicks returns the number of ticks executed by the
+// batched fast-forward path. The counters are execution telemetry, not
+// simulation state: they are absent from Result and snapshots, and a
+// resumed run restarts them at zero.
+func (s *Sim) FastForwardedTicks() uint64 { return s.ffTicks }
+
+// FastForwardedStretches returns the number of contention-free stretches
+// the fast-forward path batched.
+func (s *Sim) FastForwardedStretches() uint64 { return s.ffStretches }
+
+// Step advances the simulation and reports whether it should continue
+// (false once all cores are done or the tick cap is hit). One call
+// normally executes one tick; when the DRAM queue is empty and no fetch
+// is in flight, Step instead fast-forwards the whole contention-free
+// stretch in one call (see fastForward) with bit-identical Results,
+// snapshots, and Observer event streams.
 func (s *Sim) Step() bool {
 	if s.Done() || s.truncd {
 		return false
@@ -245,6 +372,29 @@ func (s *Sim) Step() bool {
 		s.truncd = true
 		return false
 	}
+
+	// Fast path: with no queued request and no transfer in flight,
+	// residency is static — step 2 queues nothing while every active core
+	// hits, step 3's need is 0 so nothing is evicted, and step 5 grants
+	// and lands nothing — so the next interesting tick is computable and
+	// the stretch up to it can be batch-applied. Attempts are held off
+	// for a while after one that found no worthwhile stretch (see ffHold):
+	// short stretches are still folded when found, but a workload that
+	// keeps producing them stops paying the attempt cost on every quiet
+	// tick.
+	if s.ffHold > 0 {
+		s.ffHold--
+	} else if !s.noFF && len(s.inflight) == 0 && s.arb.Len() == 0 && len(s.active) > 0 {
+		if n := s.stretchLen(); n > 0 {
+			s.fastForward(n)
+			if n < ffPayoff {
+				s.ffHold = ffHoldTicks
+			}
+			return !s.Done()
+		}
+		s.ffHold = ffHoldTicks
+	}
+
 	s.tick++
 	t := s.tick
 
@@ -272,14 +422,13 @@ func (s *Sim) Step() bool {
 	// Step), so no per-tick sort is needed here.
 	s.candidates = s.candidates[:0]
 	for _, ci := range s.active {
-		c := &s.cores[ci]
-		page := c.cur()
+		page := s.traces[ci][s.pos[ci]]
 		if s.store.Contains(page) {
 			s.candidates = append(s.candidates, ci)
 		} else {
 			s.seq++
-			s.arb.Push(model.Request{Core: ci, Page: page, Issued: c.reqTick, Seq: s.seq})
-			c.queued = true
+			s.arb.Push(model.Request{Core: ci, Page: page, Issued: s.reqTick[ci], Seq: s.seq})
+			s.queued[ci] = true
 			if s.obs != nil {
 				s.obs.OnQueue(ci, s.orig(page), t)
 			}
@@ -310,8 +459,9 @@ func (s *Sim) Step() bool {
 	if evicted := s.store.EnsureRoom(need); len(evicted) > 0 {
 		evictedAny = true
 		s.evictions += uint64(len(evicted))
-		if s.obs != nil {
-			for _, pg := range evicted {
+		for _, pg := range evicted {
+			s.invalidateScan(pg)
+			if s.obs != nil {
 				s.obs.OnEvict(s.orig(pg), t)
 			}
 		}
@@ -325,8 +475,7 @@ func (s *Sim) Step() bool {
 	s.nextActive = s.nextActive[:0]
 	if evictedAny {
 		for _, ci := range s.candidates {
-			c := &s.cores[ci]
-			page := c.cur()
+			page := s.traces[ci][s.pos[ci]]
 			if !s.store.Contains(page) {
 				// Evicted between steps 2 and 4; the core re-requests on
 				// the next tick (as in the reference loop, where step 2 of
@@ -339,7 +488,7 @@ func (s *Sim) Step() bool {
 		}
 	} else {
 		for _, ci := range s.candidates {
-			s.store.Touch(s.cores[ci].cur())
+			s.store.Touch(s.traces[ci][s.pos[ci]])
 			s.serve(ci, t)
 		}
 	}
@@ -376,6 +525,7 @@ func (s *Sim) Step() bool {
 			panic(fmt.Sprintf("core: fetch failed at tick %d: %v", t, err))
 		} else if displaced {
 			s.evictions++
+			s.invalidateScan(victim)
 			if s.obs != nil {
 				s.obs.OnEvict(s.orig(victim), t)
 			}
@@ -384,8 +534,14 @@ func (s *Sim) Step() bool {
 		if s.obs != nil {
 			s.obs.OnFetch(a.core, s.orig(a.page), t)
 		}
-		c := &s.cores[a.core]
-		c.queued = false
+		s.queued[a.core] = false
+		if s.scanTo[a.core] >= 0 {
+			// The landed page is the core's own current reference (the
+			// one the scan stopped on), so its cached run is stale:
+			// force a fresh rescan on the next fast-forward attempt.
+			s.scanTo[a.core] = -1
+			s.scansLive--
+		}
 		s.nextActive = append(s.nextActive, a.core)
 	}
 	if landed > 0 {
@@ -397,7 +553,8 @@ func (s *Sim) Step() bool {
 		s.inflight = s.inflight[:n]
 	}
 
-	s.queueLen.Add(float64(s.arb.Len()))
+	s.queueSum += uint64(s.arb.Len())
+	s.queueTicks++
 	if s.obs != nil {
 		s.obs.OnTickEnd(t, s.arb.Len(), granted)
 	}
@@ -434,6 +591,249 @@ func (s *Sim) Step() bool {
 	return !s.Done()
 }
 
+// Attempt hold-off tuning (see the ffHold field). A stretch under
+// ffPayoff ticks saves less than the attempt that found it costs, so it
+// marks the workload as currently thrashing; attempts then pause for
+// ffHoldTicks slow ticks. 32 keeps the worst-case attempt overhead a few
+// percent of the slow path while delaying engagement after a phase
+// change by a negligible 32 ticks.
+const (
+	ffPayoff    = 4
+	ffHoldTicks = 32
+)
+
+// stretchLen computes how many ticks the fast-forward path may batch
+// from the current tick: the minimum of the tick cap, the next remap
+// tick (exclusive — remap ticks run the slow path so the permuter's rng
+// stream and OnRemap events fire on their exact ticks), the caller's
+// next observation boundary (inclusive), and every active core's
+// verified hit run. Zero means the next tick is interesting and must
+// run the slow path.
+func (s *Sim) stretchLen() model.Tick {
+	t0 := s.tick
+	lim := s.capT - t0
+	// A single stretch never needs more than ~1G ticks (runs are bounded
+	// by trace lengths); clamping keeps the int conversions below safe
+	// against caller-supplied MaxTicks near the int64 limit.
+	const maxStretch = 1 << 30
+	if lim > maxStretch {
+		lim = maxStretch
+	}
+	if T := s.cfg.RemapPeriod; T > 0 {
+		if toRemap := T - t0%T; toRemap-1 < lim {
+			lim = toRemap - 1
+		}
+	}
+	if B := s.boundary; B > 0 {
+		if toB := B - t0%B; toB < lim {
+			lim = toB
+		}
+	}
+	for _, ci := range s.active {
+		if lim <= 0 {
+			return 0
+		}
+		if r := model.Tick(s.hitRun(ci, int(lim))); r < lim {
+			lim = r
+		}
+	}
+	return lim
+}
+
+// hitRun returns the length (capped at lim) of core ci's verified hit
+// run: the number of consecutive references from its cursor that are
+// resident right now. Verified prefixes are cached across calls (see the
+// scanTo/scanGen/pageGen fields), so each reference is scanned once per
+// residency change and the scan is amortised O(1) per serve.
+func (s *Sim) hitRun(ci model.CoreID, lim int) int {
+	tr := s.traces[ci]
+	pos := s.pos[ci]
+	to := s.scanTo[ci]
+	if to < pos {
+		// Cache invalid (eviction touched the window, or the core's own
+		// fetch landed) or overtaken by slow-path serves: fresh scan.
+		to = pos
+		s.scanMiss[ci] = false
+		s.scanGen[ci]++
+	}
+	if !s.scanMiss[ci] {
+		end := pos + lim
+		if end > len(tr) {
+			end = len(tr)
+		}
+		if to < end {
+			gen := s.scanGen[ci]
+			for to < end {
+				pg := tr[to]
+				if !s.store.Contains(pg) {
+					s.scanMiss[ci] = true
+					break
+				}
+				s.pageGen[pg] = gen
+				to++
+			}
+		}
+	}
+	if s.scanTo[ci] < 0 {
+		s.scansLive++
+	}
+	s.scanTo[ci] = to
+	run := to - pos
+	if run > lim {
+		run = lim
+	}
+	return run
+}
+
+// invalidateScan drops the scan cache of the core owning an evicted
+// page, but only when the page sits inside that core's verified window
+// (its generation stamp matches): evictions outside the window cannot
+// stale the cache, and skipping them keeps eviction-heavy phases from
+// forcing quadratic rescans.
+func (s *Sim) invalidateScan(pg model.PageID) {
+	if s.scansLive == 0 {
+		// No core holds a live cache (also true for uncompacted
+		// simulators, which never fast-forward): nothing to stale.
+		return
+	}
+	o := s.ownerOf[pg]
+	if s.scanTo[o] >= 0 && s.pageGen[pg] == s.scanGen[o] {
+		s.scanTo[o] = -1
+		s.scansLive--
+	}
+}
+
+// fastForward batch-applies a stretch of n contention-free ticks
+// (s.tick+1 .. s.tick+n) in which every active core hits every tick and
+// nothing else happens. The replayed effects are bit-identical to n slow
+// Steps: replacement-policy touches are applied in the reference loop's
+// exact tick-major, core-index-minor order (batched through the store's
+// TouchAll, or skipped when Touch is a no-op), per-core response stats
+// are folded in closed form — the stretch's first serve can carry a
+// response > 1 when the core's fetch landed on the stretch's first tick;
+// every later serve is a unit-response hit — and, when an observer is
+// attached, the identical OnServe/OnTickEnd event stream is emitted.
+// With no observer and a no-op Touch the whole stretch costs O(active).
+func (s *Sim) fastForward(n model.Tick) {
+	t0 := s.tick
+	tEnd := t0 + n
+
+	if s.obs != nil {
+		// Event replay interleaves Touch and OnServe per core, exactly as
+		// step 4 of the slow path does.
+		for k := model.Tick(0); k < n; k++ {
+			t := t0 + k + 1
+			for _, ci := range s.active {
+				pg := s.traces[ci][s.pos[ci]+int(k)]
+				if !s.touchNop {
+					s.store.Touch(pg)
+				}
+				resp := model.Tick(1)
+				if k == 0 {
+					resp = t - s.reqTick[ci] + 1
+				}
+				s.obs.OnServe(ci, s.orig(pg), t, resp)
+			}
+			s.obs.OnTickEnd(t, 0, 0)
+		}
+	} else if !s.touchNop {
+		// Replay the recency updates without events, batched through the
+		// store: chunked so the scratch buffer stays small on long
+		// stretches (TouchAll over consecutive chunks is identical to one
+		// call — it is defined as the sequential Touch loop).
+		const maxTouchChunk = 1 << 16
+		chunk := maxTouchChunk / len(s.active)
+		if chunk < 1 {
+			chunk = 1
+		}
+		if need := min(int(n), chunk) * len(s.active); cap(s.touchBuf) < need {
+			// Size the scratch for the stretch's largest chunk up front
+			// (one allocation instead of append's doubling ladder inside
+			// the first long stretch), with a geometric floor so runs of
+			// slowly growing stretches reallocate O(log) times, not once
+			// per stretch.
+			if twice := 2 * cap(s.touchBuf); need < twice {
+				need = twice
+			}
+			if need < 1024 {
+				need = 1024
+			}
+			s.touchBuf = make([]model.PageID, 0, need)
+		}
+		for k0 := 0; k0 < int(n); k0 += chunk {
+			k1 := k0 + chunk
+			if k1 > int(n) {
+				k1 = int(n)
+			}
+			buf := s.touchBuf[:0]
+			for k := k0; k < k1; k++ {
+				for _, ci := range s.active {
+					buf = append(buf, s.traces[ci][s.pos[ci]+k])
+				}
+			}
+			s.touchBuf = buf
+			if s.batchT != nil {
+				s.batchT.TouchAll(buf)
+			} else {
+				for _, pg := range buf {
+					s.store.Touch(pg)
+				}
+			}
+		}
+	}
+
+	// Fold the per-core effects of the stretch's n serves in O(1) each.
+	finished := false
+	for _, ci := range s.active {
+		c := &s.cores[ci]
+		w1 := t0 + 1 - s.reqTick[ci] + 1
+		c.resp.record(float64(w1))
+		c.resp.hits += uint64(n) - 1
+		if s.hist != nil {
+			s.hist.Add(uint64(w1))
+			s.hist.AddN(1, uint64(n)-1)
+		}
+		// Only the stretch's first serve gap can grow maxGap: after it,
+		// maxGap >= 1 and every later in-stretch gap is exactly 1.
+		if gap := t0 + 1 - c.lastServe; gap > c.maxGap {
+			c.maxGap = gap
+		}
+		c.lastServe = tEnd
+		s.pos[ci] += int(n)
+		if s.pos[ci] == len(s.traces[ci]) {
+			c.done = true
+			c.completion = tEnd
+			s.doneN++
+			finished = true
+			if n > 1 {
+				// The serve at tEnd-1 set reqTick to tEnd; the final serve
+				// leaves it there (for n == 1 it stays untouched), matching
+				// the slow path byte-for-byte in snapshots.
+				s.reqTick[ci] = tEnd
+			}
+		} else {
+			s.reqTick[ci] = tEnd + 1
+		}
+	}
+	if finished {
+		dst := s.active[:0]
+		for _, ci := range s.active {
+			if !s.cores[ci].done {
+				dst = append(dst, ci)
+			}
+		}
+		s.active = dst
+	}
+
+	s.tick = tEnd
+	if tEnd > s.makespan {
+		s.makespan = tEnd
+	}
+	s.queueTicks += uint64(n) // queue depth is 0 on every stretch tick
+	s.ffTicks += uint64(n)
+	s.ffStretches++
+}
+
 // orig translates a dense internal page ID back to the caller's original
 // PageID at the Observer boundary; the identity when no compaction was
 // needed (or the simulator runs uncompacted for differential testing).
@@ -448,10 +848,10 @@ func (s *Sim) orig(p model.PageID) model.PageID {
 // advances the core.
 func (s *Sim) serve(ci model.CoreID, t model.Tick) {
 	c := &s.cores[ci]
-	w := float64(t-c.reqTick) + 1
+	w := float64(t-s.reqTick[ci]) + 1
 	c.resp.record(w)
 	if s.obs != nil {
-		s.obs.OnServe(ci, s.orig(c.cur()), t, t-c.reqTick+1)
+		s.obs.OnServe(ci, s.orig(s.traces[ci][s.pos[ci]]), t, t-s.reqTick[ci]+1)
 	}
 	if gap := t - c.lastServe; gap > c.maxGap {
 		c.maxGap = gap
@@ -460,13 +860,13 @@ func (s *Sim) serve(ci model.CoreID, t model.Tick) {
 	if s.hist != nil {
 		s.hist.Add(uint64(w))
 	}
-	c.pos++
-	if c.pos == len(c.trace) {
+	s.pos[ci]++
+	if s.pos[ci] == len(s.traces[ci]) {
 		c.done = true
 		c.completion = t
 		s.doneN++
 	} else {
-		c.reqTick = t + 1
+		s.reqTick[ci] = t + 1
 		s.nextActive = append(s.nextActive, ci)
 	}
 	if t > s.makespan {
@@ -509,7 +909,9 @@ func (s *Sim) Result() *Result {
 	res.ResponseMean = all.Mean()
 	res.Inconsistency = all.StddevPop()
 	res.ResponseMax = all.Max()
-	res.AvgQueueLen = s.queueLen.Mean()
+	if s.queueTicks > 0 {
+		res.AvgQueueLen = float64(s.queueSum) / float64(s.queueTicks)
+	}
 	if s.makespan > 0 {
 		res.ChannelUtilization = float64(s.fetches) / (float64(s.cfg.Channels) * float64(s.makespan))
 	}

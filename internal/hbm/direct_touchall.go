@@ -1,0 +1,9 @@
+package hbm
+
+import "hbmsim/internal/model"
+
+// TouchAll is a no-op: direct-mapped slots have no recency state.
+func (s *DirectMapped) TouchAll([]model.PageID) {}
+
+// TouchAll is a no-op: direct-mapped slots have no recency state.
+func (s *DenseDirectMapped) TouchAll([]model.PageID) {}

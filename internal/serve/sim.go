@@ -39,6 +39,9 @@ func (s *Service) runSim(ctx context.Context, j *job) (*Payload, error) {
 		return nil, err
 	}
 	every := model.Tick(s.checkpointEvery(j))
+	// The snapshot cadence is polled between Steps; forbid the simulator's
+	// fast-forward path from jumping across a checkpoint tick.
+	sim.SetBoundary(every)
 
 	obs := &simProgress{svc: s, job: j, total: int(wl.TotalRefs()), start: time.Now()}
 	if s.opts.TrackOptGap {

@@ -170,6 +170,23 @@ func (h *Histogram) Add(x uint64) {
 	h.total++
 }
 
+// AddN records n identical observations of x in O(1): the result is
+// bit-identical to calling Add(x) n times (bucket counts are exact
+// integers, so batching cannot drift). It exists for the simulator's
+// fast-forward path, which folds a stretch of unit response times into
+// the histogram in one call.
+func (h *Histogram) AddN(x, n uint64) {
+	if n == 0 {
+		return
+	}
+	i := bucketIndex(x)
+	for len(h.buckets) <= i {
+		h.buckets = append(h.buckets, 0)
+	}
+	h.buckets[i] += n
+	h.total += n
+}
+
 // Total returns the number of observations.
 func (h *Histogram) Total() uint64 { return h.total }
 
