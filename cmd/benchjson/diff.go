@@ -38,13 +38,24 @@ func pctChange(old, new float64) float64 {
 	return (new - old) / old * 100
 }
 
+// thresholds holds the per-metric regression limits. ns/op and allocs/op
+// get separate limits because they have very different noise profiles:
+// allocs/op is deterministic (the same binary always allocates the same
+// count), while ns/op on a shared or virtualised host can swing tens of
+// percent between runs of bit-identical binaries.
+type thresholds struct {
+	NsPct    float64
+	AllocPct float64
+}
+
 // diffReports compares two reports benchmark by benchmark. A benchmark
-// regresses when ns/op or allocs/op grows by more than thresholdPct over
-// the old report. Benchmarks present in only one report are listed as
-// added/removed but never count as regressions (renames would otherwise
-// block every refactor). The returned rows are sorted by package then
-// name; regressed reports whether any row regressed.
-func diffReports(old, new *Report, thresholdPct float64) (rows []diffRow, regressed bool) {
+// regresses when ns/op grows by more than th.NsPct or allocs/op grows by
+// more than th.AllocPct over the old report. Benchmarks present in only
+// one report are listed as added/removed but never count as regressions
+// (renames would otherwise block every refactor). The returned rows are
+// sorted by package then name; regressed reports whether any row
+// regressed.
+func diffReports(old, new *Report, th thresholds) (rows []diffRow, regressed bool) {
 	type key struct {
 		pkg, name string
 		procs     int
@@ -70,8 +81,8 @@ func diffReports(old, new *Report, thresholdPct float64) (rows []diffRow, regres
 			OldAlloc: ob.AllocsPerOp, NewAlloc: nb.AllocsPerOp,
 			AllocPct: pctChange(float64(ob.AllocsPerOp), float64(nb.AllocsPerOp)),
 		}
-		r.NsRegressed = r.NsPct > thresholdPct
-		r.AllocRegressed = r.AllocPct > thresholdPct
+		r.NsRegressed = r.NsPct > th.NsPct
+		r.AllocRegressed = r.AllocPct > th.AllocPct
 		if r.NsRegressed || r.AllocRegressed {
 			r.Status = "regressed"
 			regressed = true
@@ -102,7 +113,7 @@ func fmtPct(p float64) string {
 }
 
 // writeDiff prints the per-benchmark delta table.
-func writeDiff(w io.Writer, rows []diffRow, thresholdPct float64) {
+func writeDiff(w io.Writer, rows []diffRow, th thresholds) {
 	fmt.Fprintf(w, "%-60s %14s %14s %9s %12s %12s %9s\n",
 		"benchmark", "old ns/op", "new ns/op", "ns Δ", "old allocs", "new allocs", "allocs Δ")
 	for _, r := range rows {
@@ -124,7 +135,12 @@ func writeDiff(w io.Writer, rows []diffRow, thresholdPct float64) {
 				r.OldAlloc, r.NewAlloc, fmtPct(r.AllocPct), mark)
 		}
 	}
-	fmt.Fprintf(w, "regression threshold: +%.0f%% on ns/op or allocs/op\n", thresholdPct)
+	if th.NsPct == th.AllocPct {
+		fmt.Fprintf(w, "regression threshold: +%.0f%% on ns/op or allocs/op\n", th.NsPct)
+	} else {
+		fmt.Fprintf(w, "regression thresholds: +%.0f%% on ns/op, +%.0f%% on allocs/op\n",
+			th.NsPct, th.AllocPct)
+	}
 }
 
 // readReport loads and validates a committed JSON report.
@@ -145,8 +161,8 @@ func readReport(path string) (*Report, error) {
 }
 
 // runDiff implements the -diff mode: load both reports, print the delta
-// table, and report whether anything regressed past the threshold.
-func runDiff(oldPath, newPath string, thresholdPct float64, w io.Writer) (regressed bool, err error) {
+// table, and report whether anything regressed past its threshold.
+func runDiff(oldPath, newPath string, th thresholds, w io.Writer) (regressed bool, err error) {
 	old, err := readReport(oldPath)
 	if err != nil {
 		return false, err
@@ -155,7 +171,7 @@ func runDiff(oldPath, newPath string, thresholdPct float64, w io.Writer) (regres
 	if err != nil {
 		return false, err
 	}
-	rows, regressed := diffReports(old, new, thresholdPct)
-	writeDiff(w, rows, thresholdPct)
+	rows, regressed := diffReports(old, new, th)
+	writeDiff(w, rows, th)
 	return regressed, nil
 }

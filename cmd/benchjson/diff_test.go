@@ -17,6 +17,11 @@ func report(bs ...Benchmark) *Report {
 	return &Report{Schema: schemaVersion, Benchmarks: bs}
 }
 
+// both is the pre-split behaviour: one limit for both metrics.
+func both(pct float64) thresholds {
+	return thresholds{NsPct: pct, AllocPct: pct}
+}
+
 func rowFor(t *testing.T, rows []diffRow, name string) diffRow {
 	t.Helper()
 	for _, r := range rows {
@@ -45,7 +50,7 @@ func TestDiffReportsStatuses(t *testing.T) {
 		bench("Borderline", 115, 10), // exactly +15%: not a regression
 		bench("Added", 50, 5),
 	)
-	rows, regressed := diffReports(old, new, 15)
+	rows, regressed := diffReports(old, new, both(15))
 	if !regressed {
 		t.Fatal("regressions not detected")
 	}
@@ -75,7 +80,7 @@ func TestDiffReportsStatuses(t *testing.T) {
 func TestDiffReportsCleanRun(t *testing.T) {
 	old := report(bench("A", 100, 10), bench("B", 200, 0))
 	new := report(bench("A", 90, 10), bench("B", 210, 0))
-	rows, regressed := diffReports(old, new, 15)
+	rows, regressed := diffReports(old, new, both(15))
 	if regressed {
 		t.Fatalf("false regression: %+v", rows)
 	}
@@ -88,7 +93,7 @@ func TestDiffReportsZeroDenominator(t *testing.T) {
 	// 0 -> 1 allocs is an infinite-percent growth and must regress.
 	old := report(bench("A", 100, 0))
 	new := report(bench("A", 100, 1))
-	rows, regressed := diffReports(old, new, 15)
+	rows, regressed := diffReports(old, new, both(15))
 	if !regressed {
 		t.Fatal("0 -> 1 allocs must count as a regression")
 	}
@@ -97,12 +102,47 @@ func TestDiffReportsZeroDenominator(t *testing.T) {
 	}
 }
 
+// TestDiffReportsSplitThresholds pins the per-metric limits: a wide
+// ns/op threshold (timing noise) must not loosen the allocs/op gate,
+// and vice versa.
+func TestDiffReportsSplitThresholds(t *testing.T) {
+	old := report(
+		bench("NoisyNs", 100, 10),
+		bench("TooSlow", 100, 10),
+		bench("MoreAllocs", 100, 10),
+	)
+	new := report(
+		bench("NoisyNs", 140, 10),    // +40% ns: under the wide ns limit
+		bench("TooSlow", 160, 10),    // +60% ns: over even the wide limit
+		bench("MoreAllocs", 100, 14), // +40% allocs: over the tight limit
+	)
+	rows, regressed := diffReports(old, new, thresholds{NsPct: 50, AllocPct: 25})
+	if !regressed {
+		t.Fatal("regressions not detected")
+	}
+	if r := rowFor(t, rows, "NoisyNs"); r.Status != "ok" {
+		t.Errorf("NoisyNs under the ns threshold flagged: %+v", r)
+	}
+	if r := rowFor(t, rows, "TooSlow"); !r.NsRegressed || r.AllocRegressed {
+		t.Errorf("TooSlow: wrong metric flagged: %+v", r)
+	}
+	if r := rowFor(t, rows, "MoreAllocs"); r.NsRegressed || !r.AllocRegressed {
+		t.Errorf("MoreAllocs must regress on allocs despite the wide ns limit: %+v", r)
+	}
+
+	var sb strings.Builder
+	writeDiff(&sb, rows, thresholds{NsPct: 50, AllocPct: 25})
+	if out := sb.String(); !strings.Contains(out, "+50% on ns/op, +25% on allocs/op") {
+		t.Errorf("split thresholds missing from footer:\n%s", out)
+	}
+}
+
 func TestDiffReportsProcsAreDistinct(t *testing.T) {
 	a := bench("A", 100, 10)
 	b := a
 	b.Procs = 16
 	b.NsPerOp = 500 // different procs, not comparable to a
-	rows, regressed := diffReports(report(a), report(b), 15)
+	rows, regressed := diffReports(report(a), report(b), both(15))
 	if regressed {
 		t.Fatalf("procs mismatch compared as same benchmark: %+v", rows)
 	}
@@ -131,7 +171,7 @@ func TestRunDiffEndToEnd(t *testing.T) {
 	newPath := write("new.json", report(bench("Sim", 300, 1000)))
 
 	var sb strings.Builder
-	regressed, err := runDiff(oldPath, newPath, 15, &sb)
+	regressed, err := runDiff(oldPath, newPath, both(15), &sb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,10 +186,10 @@ func TestRunDiffEndToEnd(t *testing.T) {
 	}
 
 	badPath := write("bad.json", &Report{Schema: "other/9"})
-	if _, err := runDiff(oldPath, badPath, 15, &sb); err == nil {
+	if _, err := runDiff(oldPath, badPath, both(15), &sb); err == nil {
 		t.Fatal("schema mismatch not rejected")
 	}
-	if _, err := runDiff(filepath.Join(dir, "missing.json"), newPath, 15, &sb); err == nil {
+	if _, err := runDiff(filepath.Join(dir, "missing.json"), newPath, both(15), &sb); err == nil {
 		t.Fatal("missing file not rejected")
 	}
 }

@@ -7,10 +7,12 @@
 //	go test -run='^$' -bench=. -benchmem ./... | benchjson -out BENCH.json
 //
 // Diff mode compares two committed reports and exits non-zero when any
-// benchmark's ns/op or allocs/op regressed past the threshold (see
-// `make bench-diff`):
+// benchmark's ns/op or allocs/op regressed past its threshold (see
+// `make bench-diff`). -alloc-threshold lets allocs/op — which is
+// deterministic — keep a tight limit while ns/op gets one wide enough
+// for the host's timing noise:
 //
-//	benchjson -diff [-threshold 15] OLD.json NEW.json
+//	benchjson -diff [-threshold 15] [-alloc-threshold 15] OLD.json NEW.json
 package main
 
 import (
@@ -53,10 +55,11 @@ type Report struct {
 
 func main() {
 	var (
-		in        = flag.String("in", "", "read `go test -bench` output from this file (default stdin)")
-		out       = flag.String("out", "", "write the JSON report to this file (default stdout)")
-		diff      = flag.Bool("diff", false, "compare two JSON reports: benchjson -diff OLD.json NEW.json")
-		threshold = flag.Float64("threshold", 15, "percent growth in ns/op or allocs/op that counts as a regression (with -diff)")
+		in             = flag.String("in", "", "read `go test -bench` output from this file (default stdin)")
+		out            = flag.String("out", "", "write the JSON report to this file (default stdout)")
+		diff           = flag.Bool("diff", false, "compare two JSON reports: benchjson -diff OLD.json NEW.json")
+		threshold      = flag.Float64("threshold", 15, "percent growth in ns/op that counts as a regression (with -diff)")
+		allocThreshold = flag.Float64("alloc-threshold", -1, "percent growth in allocs/op that counts as a regression; -1 means use -threshold (with -diff)")
 	)
 	flag.Parse()
 
@@ -64,12 +67,16 @@ func main() {
 		if flag.NArg() != 2 {
 			fail(fmt.Errorf("-diff needs exactly two arguments: OLD.json NEW.json"))
 		}
-		regressed, err := runDiff(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout)
+		th := thresholds{NsPct: *threshold, AllocPct: *allocThreshold}
+		if th.AllocPct < 0 {
+			th.AllocPct = th.NsPct
+		}
+		regressed, err := runDiff(flag.Arg(0), flag.Arg(1), th, os.Stdout)
 		if err != nil {
 			fail(err)
 		}
 		if regressed {
-			fail(fmt.Errorf("benchmarks regressed more than %.0f%%", *threshold))
+			fail(fmt.Errorf("benchmarks regressed past the threshold"))
 		}
 		return
 	}

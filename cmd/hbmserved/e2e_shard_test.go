@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShardedSweepSIGKILLPeerByteIdentical is the acceptance-criteria
+// test for multi-node sharding: a sweep sharded across two real
+// hbmserved peers — one SIGKILLed mid-shard and restarted on the same
+// address — finishes with a merged journal byte-identical to a
+// single-node run of the same spec, and a result payload to match.
+func TestShardedSweepSIGKILLPeerByteIdentical(t *testing.T) {
+	peer1Dir, peer2Dir := t.TempDir(), t.TempDir()
+	p1 := startServer(t, peer1Dir, "-workers", "1")
+	p2 := startServer(t, peer2Dir, "-workers", "1")
+	defer func() { p2.cmd.Process.Kill(); p2.cmd.Wait() }()
+
+	coordDir := t.TempDir()
+	coord := startServer(t, coordDir, "-workers", "1",
+		"-peers", "http://"+p1.addr+",http://"+p2.addr,
+		"-shard-rows", "3", "-steal-after", "15s")
+	defer func() { coord.cmd.Process.Kill(); coord.cmd.Wait() }()
+
+	id := coord.submit(t, sweepJob)
+
+	// Let at least one row land, then SIGKILL peer 1 mid-shard.
+	deadline := time.Now().Add(180 * time.Second)
+	for {
+		m := coord.getJob(t, id)
+		if jobState(m) == "done" {
+			t.Fatal("sweep finished before the kill; grow the workload")
+		}
+		if jobCompleted(m) >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no sharded progress before kill deadline")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := p1.cmd.Process.Kill(); err != nil { // SIGKILL: a worker node dies mid-shard
+		t.Fatal(err)
+	}
+	p1.cmd.Wait()
+
+	// Restart the peer on the SAME address the coordinator dials (the
+	// later -addr wins over startServer's default :0); its orphaned
+	// sub-job recovers from its own journal while the coordinator
+	// re-dispatches the lost shard.
+	p1b := startServer(t, peer1Dir, "-workers", "1", "-addr", p1.addr)
+	defer func() { p1b.cmd.Process.Kill(); p1b.cmd.Wait() }()
+
+	got := coord.waitDone(t, id, 300*time.Second)
+
+	// Single-node control in a fresh directory: same spec, one worker.
+	ctrlDir := t.TempDir()
+	ctrl := startServer(t, ctrlDir, "-workers", "1")
+	defer func() { ctrl.cmd.Process.Kill(); ctrl.cmd.Wait() }()
+	ctrlID := ctrl.submit(t, sweepJob)
+	want := ctrl.waitDone(t, ctrlID, 300*time.Second)
+
+	// Result payloads match row for row.
+	gotRows, wantRows := compactJSON(t, got["result"]), compactJSON(t, want["result"])
+	if !bytes.Equal(gotRows, wantRows) {
+		t.Errorf("sharded result differs from single-node run:\n got: %.200s\nwant: %.200s",
+			gotRows, wantRows)
+	}
+
+	// The merged journal is byte-identical to the single-node journal.
+	gotJnl, err := os.ReadFile(filepath.Join(coordDir, fmt.Sprintf("job-%d.jnl", id)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJnl, err := os.ReadFile(filepath.Join(ctrlDir, fmt.Sprintf("job-%d.jnl", ctrlID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJnl, wantJnl) {
+		t.Errorf("merged journal not byte-identical: got %d bytes, want %d bytes",
+			len(gotJnl), len(wantJnl))
+	}
+
+	// The fan-out actually happened and is visible on /metrics.
+	metrics := coord.metrics(t)
+	if !strings.Contains(metrics, "shard_subjobs_dispatched_total") {
+		t.Error("/metrics missing shard_subjobs_dispatched_total")
+	}
+}
+
+// cacheSweep is sized so the first (simulated) run takes long enough to
+// dwarf the fixed submit/poll overhead a cached replay still pays.
+const cacheSweep = `{
+  "kind": "sweep",
+  "name": "e2e-cache",
+  "workload": {"gen": "zipf", "cores": 4, "size": 250000, "seed": 9},
+  "points": [
+    {"config": {"hbm_slots": 64, "arbiter": "priority"}},
+    {"config": {"hbm_slots": 128, "arbiter": "fifo"}},
+    {"config": {"hbm_slots": 256, "arbiter": "random"}}
+  ],
+  "workers": 1
+}`
+
+// TestCacheHitEndToEnd is the acceptance-criteria cache test: an
+// identical resubmitted job is answered from the result cache — proven
+// by serve_cache_hit_total on /metrics, cache_hit in the job view, and
+// the replay finishing much faster than the simulation.
+func TestCacheHitEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	s := startServer(t, dir, "-workers", "1", "-cache", filepath.Join(dir, "cache"))
+	defer func() { s.cmd.Process.Kill(); s.cmd.Wait() }()
+
+	t0 := time.Now()
+	id1 := s.submit(t, cacheSweep)
+	first := s.waitDone(t, id1, 180*time.Second)
+	simulated := time.Since(t0)
+	var hit1 bool
+	json.Unmarshal(first["cache_hit"], &hit1)
+	if hit1 {
+		t.Fatal("first run claims cache_hit")
+	}
+
+	t1 := time.Now()
+	id2 := s.submit(t, cacheSweep)
+	second := s.waitDone(t, id2, 60*time.Second)
+	cached := time.Since(t1)
+	var hit2 bool
+	json.Unmarshal(second["cache_hit"], &hit2)
+	if !hit2 {
+		t.Fatal("identical resubmission has no cache_hit in its view")
+	}
+	if !bytes.Equal(compactJSON(t, first["result"]), compactJSON(t, second["result"])) {
+		t.Error("cached payload differs from the simulated one")
+	}
+	// Timing: the replay skips the simulation entirely. Allow wide margin
+	// for a loaded box — it must still be well under the simulated time.
+	if cached > simulated/2 {
+		t.Errorf("cached run took %v, simulated %v — cache gave no speedup", cached, simulated)
+	}
+
+	metrics := s.metrics(t)
+	if !strings.Contains(metrics, "serve_cache_hit_total 1") {
+		t.Errorf("/metrics does not show serve_cache_hit_total 1:\n%s",
+			grepLines(metrics, "serve_cache"))
+	}
+	if !strings.Contains(metrics, "serve_cache_miss_total") {
+		t.Error("/metrics missing serve_cache_miss_total")
+	}
+}
+
+// metrics fetches the /metrics exposition as text.
+func (s *server) metrics(t *testing.T) string {
+	t.Helper()
+	resp, err := http.Get(s.url("/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	return body.String()
+}
+
+func grepLines(s, substr string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

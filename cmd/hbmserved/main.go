@@ -30,12 +30,14 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"hbmsim/internal/introspect"
 	"hbmsim/internal/metrics"
+	"hbmsim/internal/resultcache"
 	"hbmsim/internal/serve"
 	"hbmsim/internal/tracing"
 )
@@ -60,6 +62,10 @@ func run() int {
 		traceOn    = flag.Bool("trace", true, "trace job lifecycles as spans: /debug/trace, trace IDs in job views and logs, SIGQUIT flight-recorder dumps")
 		traceRate  = flag.Float64("trace-sample", 1, "head-sampling probability for job traces in (0,1]")
 		traceFile  = flag.String("trace-file", "", "also append finished spans to this file as OTLP JSON lines")
+		cacheDir   = flag.String("cache", "", "content-addressed result cache directory: identical resubmitted jobs are answered from it without simulating (empty disables)")
+		peers      = flag.String("peers", "", "comma-separated base URLs of peer hbmserved instances; multi-point sweep jobs are sharded across them")
+		stealAfter = flag.Duration("steal-after", 30*time.Second, "straggler budget for sharded sweeps before a shard is raced onto an idle peer")
+		shardRows  = flag.Int("shard-rows", 4, "sweep points per shard when sharding across -peers")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -109,6 +115,25 @@ func run() int {
 	reg := metrics.NewRegistry()
 	prog := &introspect.Progress{}
 	mirror := newProgressMirror(prog)
+	var cache *resultcache.Store
+	if *cacheDir != "" {
+		var err error
+		if cache, err = resultcache.Open(*cacheDir); err != nil {
+			slog.Error("opening result cache", "err", err)
+			return 1
+		}
+		slog.Info("result cache enabled", "dir", *cacheDir)
+	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, strings.TrimRight(p, "/"))
+		}
+	}
+	if len(peerList) > 0 {
+		slog.Info("sweep sharding enabled", "peers", peerList,
+			"steal_after", *stealAfter, "shard_rows", *shardRows)
+	}
 	svc, err := serve.Open(serve.Options{
 		Dir:             *dir,
 		Workers:         *workers,
@@ -121,6 +146,10 @@ func run() int {
 		OptGapWindow:    *optGapWin,
 		Tracer:          tracer,
 		FlightRecorder:  flight,
+		Cache:           cache,
+		Peers:           peerList,
+		StealAfter:      *stealAfter,
+		ShardRows:       *shardRows,
 	})
 	if err != nil {
 		slog.Error("opening job service", "err", err)

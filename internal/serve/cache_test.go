@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hbmsim/internal/metrics"
+	"hbmsim/internal/resultcache"
+)
+
+func openTestCache(t *testing.T) *resultcache.Store {
+	t.Helper()
+	c, err := resultcache.Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func serveCounter(reg *metrics.Registry, name string) float64 {
+	for _, s := range reg.Snapshot() {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	return 0
+}
+
+// TestCacheHitOnResubmit is the tentpole's cache contract end to end:
+// the first run simulates and stores, the identical resubmission is
+// answered from the cache with an identical payload, cache_hit in the
+// view, and the serve_cache_{hit,miss}_total counters moving.
+func TestCacheHitOnResubmit(t *testing.T) {
+	cache := openTestCache(t)
+	reg := metrics.NewRegistry()
+	s := openTestService(t, t.TempDir(), func(o *Options) {
+		o.Cache = cache
+		o.Metrics = reg
+	})
+	defer s.Close()
+
+	v1, err := s.Submit(testSimSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1 := waitState(t, s, v1.ID, StateDone)
+	if got1.CacheHit {
+		t.Fatal("first run must not be a cache hit")
+	}
+	if hits := serveCounter(reg, "serve_cache_hit_total"); hits != 0 {
+		t.Fatalf("serve_cache_hit_total = %g after first run, want 0", hits)
+	}
+	if misses := serveCounter(reg, "serve_cache_miss_total"); misses != 1 {
+		t.Fatalf("serve_cache_miss_total = %g after first run, want 1", misses)
+	}
+
+	v2, err := s.Submit(testSimSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := waitState(t, s, v2.ID, StateDone)
+	if !got2.CacheHit {
+		t.Fatal("identical resubmission was not served from the cache")
+	}
+	if hits := serveCounter(reg, "serve_cache_hit_total"); hits != 1 {
+		t.Fatalf("serve_cache_hit_total = %g, want 1", hits)
+	}
+	if !reflect.DeepEqual(got1.Result, got2.Result) {
+		t.Fatal("cached payload differs from the simulated one")
+	}
+
+	// A different spec misses.
+	spec := testSimSpec()
+	spec.Config.HBMSlots = 48
+	v3, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got3 := waitState(t, s, v3.ID, StateDone); got3.CacheHit {
+		t.Fatal("different spec must not hit the cache")
+	}
+}
+
+// TestCacheHitSurvivesRestart: cache entries and the cache_hit marker
+// both outlive the process — the marker is replayed from the finish
+// manifest record, and a fresh service over the same cache directory
+// answers from it.
+func TestCacheHitSurvivesRestart(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	dir := t.TempDir()
+	cache, err := resultcache.Open(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := openTestService(t, dir, func(o *Options) { o.Cache = cache })
+	v1, _ := s.Submit(testSimSpec())
+	waitState(t, s, v1.ID, StateDone)
+	v2, _ := s.Submit(testSimSpec())
+	hit := waitState(t, s, v2.ID, StateDone)
+	if !hit.CacheHit {
+		t.Fatal("resubmission not served from cache")
+	}
+	s.Close()
+
+	cache2, err := resultcache.Open(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTestService(t, dir, func(o *Options) { o.Cache = cache2 })
+	defer s2.Close()
+	// The replayed job still shows cache_hit.
+	if v, ok := s2.Get(v2.ID); !ok || !v.CacheHit {
+		t.Fatalf("cache_hit lost across restart: %+v", v)
+	}
+	// And a new identical submission hits the reopened cache.
+	v3, err := s2.Submit(testSimSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitState(t, s2, v3.ID, StateDone); !got.CacheHit {
+		t.Fatal("reopened cache did not answer an identical job")
+	}
+}
+
+// TestCacheSweepAndExperimentKinds: all three job kinds go through the
+// cache (the fingerprint folds the kind, so they can never collide).
+func TestCacheSweepKind(t *testing.T) {
+	cache := openTestCache(t)
+	s := openTestService(t, t.TempDir(), func(o *Options) { o.Cache = cache })
+	defer s.Close()
+	v1, err := s.Submit(testSweepSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := waitState(t, s, v1.ID, StateDone)
+	v2, err := s.Submit(testSweepSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := waitState(t, s, v2.ID, StateDone)
+	if !second.CacheHit {
+		t.Fatal("identical sweep not served from cache")
+	}
+	if !reflect.DeepEqual(first.Result, second.Result) {
+		t.Fatal("cached sweep payload differs")
+	}
+}
+
+// TestCacheDisabledIsInert: without a cache the counters stay zero and
+// nothing claims cache_hit.
+func TestCacheDisabledIsInert(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := openTestService(t, t.TempDir(), func(o *Options) { o.Metrics = reg })
+	defer s.Close()
+	v1, _ := s.Submit(testSimSpec())
+	waitState(t, s, v1.ID, StateDone)
+	v2, _ := s.Submit(testSimSpec())
+	if got := waitState(t, s, v2.ID, StateDone); got.CacheHit {
+		t.Fatal("cache_hit without a cache")
+	}
+	if serveCounter(reg, "serve_cache_hit_total") != 0 || serveCounter(reg, "serve_cache_miss_total") != 0 {
+		t.Fatal("cache counters moved without a cache")
+	}
+}

@@ -54,7 +54,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
 		return
 	}
-	v, err := s.Submit(spec)
+	v, err := s.SubmitTraced(spec, r.Header.Get("traceparent"))
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))

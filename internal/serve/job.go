@@ -232,6 +232,10 @@ type Spec struct {
 	// Points are the sweep job's configurations, all run against
 	// Workload.
 	Points []Point `json:"points,omitempty"`
+	// NoShard pins a sweep job to this node even when the service has
+	// peers configured. Shard sub-jobs carry it so a peer that itself has
+	// peers never re-shards delegated work.
+	NoShard bool `json:"no_shard,omitempty"`
 	// Workers bounds the job's internal sweep parallelism (0 = service
 	// default).
 	Workers int `json:"workers,omitempty"`
@@ -413,8 +417,12 @@ type View struct {
 	// /debug/trace?trace=<id> or download its Perfetto rendering there.
 	TraceID string `json:"trace_id,omitempty"`
 	// Recovered marks a job re-enqueued by crash recovery at least once.
-	Recovered bool          `json:"recovered,omitempty"`
-	Progress  *ProgressView `json:"progress,omitempty"`
+	Recovered bool `json:"recovered,omitempty"`
+	// CacheHit marks a job answered from the content-addressed result
+	// cache: an identical job (same fingerprint) had already finished, so
+	// its payload was returned without re-simulating.
+	CacheHit bool          `json:"cache_hit,omitempty"`
+	Progress *ProgressView `json:"progress,omitempty"`
 	// OptGap is the live optimality snapshot of a running (or finished)
 	// sim job; only set when the service tracks optimality gaps.
 	OptGap *OptGapView `json:"optgap,omitempty"`

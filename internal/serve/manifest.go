@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strconv"
 	"sync"
 )
 
@@ -21,12 +23,61 @@ import (
 //     result payload included; restart never re-runs it.
 //
 // Like sweep.Journal, the file is recovered leniently: a torn final line
-// (the process died mid-append) is truncated away and every intact line
-// before it is kept. Unlike sweep.Journal there is no keying — records
-// are an ordered event log replayed front to back.
+// (the process died mid-append) is truncated away — and the truncation
+// fsynced, so a crash right after recovery cannot resurrect it — and
+// every intact line before it is kept. A failed append is rewound the
+// same way so partial bytes never poison the next record. Unlike
+// sweep.Journal there is no keying — records are an ordered event log
+// replayed front to back.
 type manifest struct {
-	mu sync.Mutex
-	f  *os.File
+	mu  sync.Mutex
+	f   manifestFile
+	off int64 // durable end offset: intact, fsynced records end here
+}
+
+// manifestFile is the file surface the manifest needs. *os.File
+// satisfies it; fault-injection tests substitute wrappers whose writes
+// fail partway through.
+type manifestFile interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(int64) error
+}
+
+// fpHex is a job fingerprint on the manifest wire: a 16-digit hex JSON
+// string, so the all-zero fingerprint — a legitimate FNV output — is
+// encoded like any other value instead of being dropped by omitempty
+// (which silently turned such jobs into "never started" on recovery).
+// Decoding also accepts the bare JSON number older manifests recorded.
+type fpHex uint64
+
+func (f fpHex) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", fmt.Sprintf("%016x", uint64(f)))), nil
+}
+
+func (f *fpHex) UnmarshalJSON(b []byte) error {
+	if len(b) >= 2 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := strconv.ParseUint(s, 16, 64)
+		if err != nil {
+			return fmt.Errorf("serve: fingerprint %q is not hex: %w", s, err)
+		}
+		*f = fpHex(v)
+		return nil
+	}
+	// Legacy form: a decimal JSON number (pre-hex manifests).
+	var v uint64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = fpHex(v)
+	return nil
 }
 
 // manifestRecord is one line of the manifest.
@@ -34,24 +85,48 @@ type manifestRecord struct {
 	// Op is "submit", "start", or "finish".
 	Op string `json:"op"`
 	ID uint64 `json:"id"`
-	// Spec and Fingerprint accompany "submit".
+	// Spec accompanies "submit"; Fingerprint accompanies "start" — as a
+	// pointer, so presence (not a non-zero value) is what marks a job as
+	// started, and the all-zero fingerprint round-trips.
 	Spec        *Spec  `json:"spec,omitempty"`
-	Fingerprint uint64 `json:"fingerprint,omitempty"`
-	// State and the outcome fields accompany "finish".
-	State  State    `json:"state,omitempty"`
-	Error  string   `json:"error,omitempty"`
-	Result *Payload `json:"result,omitempty"`
+	Fingerprint *fpHex `json:"fingerprint,omitempty"`
+	// State and the outcome fields accompany "finish". CacheHit marks a
+	// job answered from the result cache instead of simulated.
+	State    State    `json:"state,omitempty"`
+	Error    string   `json:"error,omitempty"`
+	Result   *Payload `json:"result,omitempty"`
+	CacheHit bool     `json:"cache_hit,omitempty"`
 	// Unix is the event's wall-clock second, for operators reading the
 	// file; recovery ignores it.
 	Unix int64 `json:"unix,omitempty"`
 }
 
 // openManifest opens (creating if needed) the manifest at path, replays
-// every intact record into the returned slice, and truncates a torn
-// tail so subsequent appends start clean.
+// every intact record into the returned slice, truncates a torn tail
+// (fsyncing the truncation) so subsequent appends start clean, and
+// fsyncs the parent directory so a freshly created manifest survives a
+// crash immediately after open.
 func openManifest(path string) (*manifest, []manifestRecord, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
+		return nil, nil, err
+	}
+	m, recs, err := openManifestFile(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("serve: syncing manifest directory: %w", err)
+	}
+	return m, recs, nil
+}
+
+// openManifestFile is openManifest past the os.OpenFile: recovery over
+// an already-open file, split out for fault-injection tests.
+func openManifestFile(f manifestFile) (*manifest, []manifestRecord, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, nil, err
 	}
 	var (
@@ -65,7 +140,6 @@ func openManifest(path string) (*manifest, []manifestRecord, error) {
 			if err == io.EOF {
 				break // a partial line is a torn append; drop it
 			}
-			f.Close()
 			return nil, nil, fmt.Errorf("serve: reading manifest: %w", err)
 		}
 		var rec manifestRecord
@@ -76,19 +150,35 @@ func openManifest(path string) (*manifest, []manifestRecord, error) {
 		good += int64(len(line))
 	}
 	if err := f.Truncate(good); err != nil {
-		f.Close()
 		return nil, nil, fmt.Errorf("serve: truncating manifest tail: %w", err)
 	}
+	// Sync the truncation, or a crash after recovery resurrects the torn
+	// line the next reopen already discarded once.
+	if err := f.Sync(); err != nil {
+		return nil, nil, fmt.Errorf("serve: syncing truncated manifest: %w", err)
+	}
 	if _, err := f.Seek(good, io.SeekStart); err != nil {
-		f.Close()
 		return nil, nil, err
 	}
-	return &manifest{f: f}, recs, nil
+	return &manifest{f: f, off: good}, recs, nil
+}
+
+// syncDir fsyncs a directory so a just-created entry in it survives a
+// crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // append writes one record and syncs it to stable storage. The record is
 // durable when append returns — the caller may then acknowledge the
-// event to the submitter.
+// event to the submitter. A failed write or sync is rewound: the file is
+// truncated back to the pre-append offset so partial bytes cannot poison
+// the next record.
 func (m *manifest) append(rec manifestRecord) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
@@ -98,12 +188,27 @@ func (m *manifest) append(rec manifestRecord) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, err := m.f.Write(line); err != nil {
-		return fmt.Errorf("serve: appending manifest record: %w", err)
+		return m.rewindLocked(fmt.Errorf("serve: appending manifest record: %w", err))
 	}
 	if err := m.f.Sync(); err != nil {
-		return fmt.Errorf("serve: syncing manifest: %w", err)
+		return m.rewindLocked(fmt.Errorf("serve: syncing manifest: %w", err))
 	}
+	m.off += int64(len(line))
 	return nil
+}
+
+// rewindLocked truncates a failed append back to the last durable
+// offset and returns cause (annotated if the rewind itself failed).
+// Callers hold m.mu.
+func (m *manifest) rewindLocked(cause error) error {
+	if err := m.f.Truncate(m.off); err != nil {
+		return fmt.Errorf("%w (and rewinding the torn tail failed: %v)", cause, err)
+	}
+	if _, err := m.f.Seek(m.off, io.SeekStart); err != nil {
+		return fmt.Errorf("%w (and rewinding the torn tail failed: %v)", cause, err)
+	}
+	m.f.Sync() // best-effort; the next append reports a persistent sync failure
+	return cause
 }
 
 // Close closes the underlying file. Appending after Close fails.

@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// manifestFaultFile wraps a real manifest file with injectable
+// write/sync failures (see the sweep journal's faultFile for why
+// /dev/full cannot model a partially persisted append).
+type manifestFaultFile struct {
+	*os.File
+	failWriteAfter int // >= 0: next Write persists that many bytes, then ENOSPC
+	failSync       bool
+}
+
+func (f *manifestFaultFile) Write(p []byte) (int, error) {
+	if f.failWriteAfter >= 0 {
+		n := f.failWriteAfter
+		if n > len(p) {
+			n = len(p)
+		}
+		f.failWriteAfter = -1
+		n, _ = f.File.Write(p[:n])
+		return n, syscall.ENOSPC
+	}
+	return f.File.Write(p)
+}
+
+func (f *manifestFaultFile) Sync() error {
+	if f.failSync {
+		f.failSync = false
+		return syscall.ENOSPC
+	}
+	return f.File.Sync()
+}
+
+// TestManifestAppendENOSPCRewind: an append failing partway must be
+// rewound so the next record starts on a clean boundary — without the
+// rewind, the following append would concatenate onto the torn bytes
+// and lenient reopen would discard both records.
+func TestManifestAppendENOSPCRewind(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	spec := testSimSpec()
+	m, _, err := openManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.append(manifestRecord{Op: "submit", ID: 1, Spec: &spec, Unix: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := &manifestFaultFile{File: f, failWriteAfter: -1}
+	m2, recs, err := openManifestFile(ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(recs))
+	}
+	before, _ := os.ReadFile(path)
+
+	ff.failWriteAfter = 9
+	err = m2.append(manifestRecord{Op: "finish", ID: 1, State: StateDone, Unix: 2})
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append under ENOSPC returned %v, want ENOSPC", err)
+	}
+	after, _ := os.ReadFile(path)
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed append was not rewound")
+	}
+
+	// Disk recovered: the next append lands cleanly and replays.
+	if err := m2.append(manifestRecord{Op: "finish", ID: 1, State: StateDone, Unix: 3}); err != nil {
+		t.Fatalf("append after rewind: %v", err)
+	}
+	m2.Close()
+	_, recs, err = openManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Op != "finish" || recs[1].State != StateDone {
+		t.Fatalf("post-rewind replay mangled: %+v", recs)
+	}
+}
+
+// TestManifestSyncFailureRewind: a record whose fsync fails is not
+// durable and must be rewound rather than left for the next append to
+// build on.
+func TestManifestSyncFailureRewind(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	spec := testSimSpec()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := &manifestFaultFile{File: f, failWriteAfter: -1}
+	m, _, err := openManifestFile(ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.append(manifestRecord{Op: "submit", ID: 1, Spec: &spec, Unix: 1}); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := os.ReadFile(path)
+	ff.failSync = true
+	if err := m.append(manifestRecord{Op: "finish", ID: 1, State: StateDone, Unix: 2}); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append under failing sync returned %v, want ENOSPC", err)
+	}
+	after, _ := os.ReadFile(path)
+	if !bytes.Equal(before, after) {
+		t.Fatal("unsynced append was not rewound")
+	}
+	m.Close()
+}
+
+// TestManifestRecoveryCrashWindow pins the recovery-then-crash window:
+// lenient recovery truncates the torn tail AND fsyncs the truncation,
+// so dying before the first new append leaves a file that recovers
+// byte-identically, however many times it is reopened.
+func TestManifestRecoveryCrashWindow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	spec := testSimSpec()
+	m, _, err := openManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.append(manifestRecord{Op: "submit", ID: 1, Spec: &spec, Unix: 1})
+	m.append(manifestRecord{Op: "finish", ID: 1, State: StateDone, Unix: 2})
+	m.Close()
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"submit","id":2,"sp`) // torn mid-record
+	f.Close()
+
+	// Recovery, then "crash" before any new append.
+	for i := 0; i < 3; i++ {
+		m, recs, err := openManifest(path)
+		if err != nil {
+			t.Fatalf("reopen %d: %v", i, err)
+		}
+		if len(recs) != 2 {
+			t.Fatalf("reopen %d replayed %d records, want 2", i, len(recs))
+		}
+		m.Close()
+		if got, _ := os.ReadFile(path); !bytes.Equal(got, clean) {
+			t.Fatalf("reopen %d changed the file bytes (torn tail resurrected?)", i)
+		}
+	}
+}
+
+// TestManifestFingerprintZeroRoundTrip pins the omitempty bugfix: the
+// all-zero fingerprint — a legitimate FNV-1a output — must survive the
+// wire, as must the legacy decimal encoding older manifests used.
+func TestManifestFingerprintZeroRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	m, _, err := openManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSimSpec()
+	zero := fpHex(0)
+	m.append(manifestRecord{Op: "submit", ID: 1, Spec: &spec, Unix: 1})
+	m.append(manifestRecord{Op: "start", ID: 1, Fingerprint: &zero, Unix: 2})
+	m.Close()
+
+	// The zero fingerprint is on the wire (as a hex string), not dropped.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"fingerprint":"0000000000000000"`)) {
+		t.Fatalf("zero fingerprint missing from the wire:\n%s", raw)
+	}
+	_, recs, err := openManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(recs))
+	}
+	if recs[1].Fingerprint == nil || *recs[1].Fingerprint != 0 {
+		t.Fatalf("zero fingerprint lost on round-trip: %+v", recs[1])
+	}
+
+	// Legacy decimal fingerprints still decode.
+	var legacy manifestRecord
+	if err := json.Unmarshal([]byte(`{"op":"start","id":1,"fingerprint":3735928559}`), &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Fingerprint == nil || uint64(*legacy.Fingerprint) != 0xdeadbeef {
+		t.Fatalf("legacy decimal fingerprint mangled: %+v", legacy.Fingerprint)
+	}
+}
+
+// TestServiceHonorsZeroFingerprint is the end-to-end shape of the bug:
+// a recovered job whose journaled fingerprint is zero must be treated
+// as started-with-fingerprint-zero — so a spec that now rebuilds a
+// different fingerprint is REFUSED, exactly like any other mismatch.
+// (Before the fix, omitempty dropped the zero on the wire and the job
+// silently re-ran as if never started, skipping the resume guard.)
+func TestServiceHonorsZeroFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSweepSpec(2)
+	man, _, err := openManifest(filepath.Join(dir, "jobs.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := fpHex(0)
+	if err := man.append(manifestRecord{Op: "submit", ID: 1, Spec: &spec, Unix: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := man.append(manifestRecord{Op: "start", ID: 1, Fingerprint: &zero, Unix: 2}); err != nil {
+		t.Fatal(err)
+	}
+	man.Close()
+
+	s := openTestService(t, dir, nil)
+	defer s.Close()
+	got := waitState(t, s, 1, StateFailed)
+	if !strings.Contains(got.Error, "fingerprint mismatch") {
+		t.Errorf("error %q should report the fingerprint mismatch for the zero fingerprint", got.Error)
+	}
+}

@@ -16,9 +16,10 @@ func TestManifestRoundTrip(t *testing.T) {
 		t.Fatalf("fresh manifest has %d records", len(recs))
 	}
 	spec := testSimSpec()
+	fp := fpHex(0xabc)
 	events := []manifestRecord{
 		{Op: "submit", ID: 1, Spec: &spec, Unix: 100},
-		{Op: "start", ID: 1, Fingerprint: 0xabc, Unix: 101},
+		{Op: "start", ID: 1, Fingerprint: &fp, Unix: 101},
 		{Op: "finish", ID: 1, State: StateDone, Unix: 102},
 	}
 	for _, rec := range events {
@@ -39,7 +40,7 @@ func TestManifestRoundTrip(t *testing.T) {
 	if recs[0].Op != "submit" || recs[0].Spec == nil || recs[0].Spec.Name != spec.Name {
 		t.Errorf("submit record mangled: %+v", recs[0])
 	}
-	if recs[1].Fingerprint != 0xabc {
+	if recs[1].Fingerprint == nil || *recs[1].Fingerprint != 0xabc {
 		t.Errorf("fingerprint mangled: %+v", recs[1])
 	}
 	if recs[2].State != StateDone {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -15,6 +16,7 @@ import (
 
 	"hbmsim/internal/experiments"
 	"hbmsim/internal/metrics"
+	"hbmsim/internal/resultcache"
 	"hbmsim/internal/sweep"
 	"hbmsim/internal/trace"
 	"hbmsim/internal/tracing"
@@ -91,6 +93,25 @@ type Options struct {
 	// error — the post-mortem for the one failure mode that leaves no
 	// journal trail.
 	FlightRecorder *tracing.FlightRecorder
+	// Cache, when non-nil, answers identical resubmissions from the
+	// content-addressed result cache: after a job's fingerprint is
+	// established, a cached payload under that fingerprint is returned
+	// without simulating (the view carries cache_hit and the
+	// serve_cache_hit_total counter moves); successful results are stored
+	// back on completion.
+	Cache *resultcache.Store
+	// Peers are base URLs of other hbmserved instances. When non-empty,
+	// multi-point sweep jobs are sharded across them through the HTTP job
+	// API (internal/shard) instead of running only on this node; each
+	// sub-job carries no_shard so peers never re-shard. Sim and experiment
+	// jobs always run locally.
+	Peers []string
+	// StealAfter is the straggler budget for sharded sweeps: a shard
+	// running longer than this on one peer may be raced onto an idle peer
+	// (default 30s).
+	StealAfter time.Duration
+	// ShardRows is the sharded-sweep shard size in points (default 4).
+	ShardRows int
 
 	// testHookBeforeJob, when set, runs in the worker just before a job
 	// executes — tests use it to hold a worker busy deterministically.
@@ -110,6 +131,12 @@ func (o Options) withDefaults() Options {
 	if o.CheckpointEvery == 0 {
 		o.CheckpointEvery = 4 << 20
 	}
+	if o.StealAfter <= 0 {
+		o.StealAfter = 30 * time.Second
+	}
+	if o.ShardRows <= 0 {
+		o.ShardRows = 4
+	}
 	return o
 }
 
@@ -118,11 +145,13 @@ func (o Options) withDefaults() Options {
 type job struct {
 	id          uint64
 	spec        *Spec
-	fingerprint uint64 // 0 until the job first starts
+	fingerprint uint64
+	hasFP       bool // a "start" record exists: fingerprint is meaningful (even when zero)
 	state       State
 	errMsg      string
 	payload     *Payload
 	recovered   bool
+	cacheHit    bool // answered from the result cache, not simulated
 
 	submitted time.Time
 	started   time.Time
@@ -133,6 +162,13 @@ type job struct {
 	optgap    *OptGapView
 	cancel    context.CancelCauseFunc // non-nil while running
 	cancelled bool                    // user cancel requested
+
+	// linkTrace/linkSpan, when linkTrace is non-zero, continue a remote
+	// trace (the submitter sent a sampled W3C traceparent header): the
+	// job's root span is opened with StartLinked instead of StartRoot, so
+	// a sharded sweep's sub-jobs join the coordinator's trace tree.
+	linkTrace tracing.TraceID
+	linkSpan  tracing.SpanID
 
 	// Tracing state: traceCtx carries the job's root span for child spans;
 	// enqueued timestamps the latest queue entry (admission or recovery)
@@ -151,6 +187,7 @@ type job struct {
 type instruments struct {
 	submitted, rejected, recovered       *metrics.Counter
 	started, finished, failed, cancelled *metrics.Counter
+	cacheHit, cacheMiss                  *metrics.Counter
 	queueDepth, running, workers         *metrics.Gauge
 	jobSeconds                           *metrics.Histogram
 	queueWait, checkpointWrite           *metrics.Histogram
@@ -165,6 +202,10 @@ func newInstruments(reg *metrics.Registry) instruments {
 		finished:  reg.Counter("serve_jobs_finished_total", "jobs reaching a terminal state"),
 		failed:    reg.Counter("serve_jobs_failed_total", "jobs finishing in state failed"),
 		cancelled: reg.Counter("serve_jobs_cancelled_total", "jobs finishing in state cancelled"),
+		cacheHit: reg.Counter("serve_cache_hit_total",
+			"jobs answered from the content-addressed result cache without simulating"),
+		cacheMiss: reg.Counter("serve_cache_miss_total",
+			"cache-enabled jobs whose fingerprint had no cached payload"),
 		queueDepth: reg.Gauge("serve_queue_depth",
 			"jobs admitted but not yet running (admission rejects past the queue bound)"),
 		running: reg.Gauge("serve_jobs_running", "jobs currently executing on a worker"),
@@ -262,14 +303,16 @@ func (s *Service) replay(recs []manifestRecord) {
 				s.nextID = j.id + 1
 			}
 		case "start":
-			if j := s.jobs[rec.ID]; j != nil {
-				j.fingerprint = rec.Fingerprint
+			if j := s.jobs[rec.ID]; j != nil && rec.Fingerprint != nil {
+				j.fingerprint = uint64(*rec.Fingerprint)
+				j.hasFP = true
 			}
 		case "finish":
 			if j := s.jobs[rec.ID]; j != nil {
 				j.state = rec.State
 				j.errMsg = rec.Error
 				j.payload = rec.Result
+				j.cacheHit = rec.CacheHit
 				j.finished = time.Unix(rec.Unix, 0)
 			}
 		}
@@ -285,11 +328,11 @@ func (s *Service) replay(recs []manifestRecord) {
 		s.ins.recovered.Inc()
 		s.startJobTrace(j, true)
 		_, rsp := tracing.StartSpan(j.traceCtx, "serve.recover")
-		rsp.SetAttrBool("resumable", j.fingerprint != 0)
+		rsp.SetAttrBool("resumable", j.hasFP)
 		rsp.End()
 		s.enterQueueTrace(j)
 		slog.InfoContext(j.traceCtx, "recovered unfinished job", "job", j.id,
-			"kind", j.spec.Kind, "resumable", j.fingerprint != 0)
+			"kind", j.spec.Kind, "resumable", j.hasFP)
 	}
 }
 
@@ -298,7 +341,13 @@ func (s *Service) replay(recs []manifestRecord) {
 // since the restarted process opens a fresh root for the resumed run
 // (marked recovered=true, so resumed lifecycles are visibly distinct).
 func (s *Service) startJobTrace(j *job, recovered bool) {
-	ctx, sp := s.opts.Tracer.StartRoot(context.Background(), "serve.job")
+	var ctx context.Context
+	var sp tracing.Span
+	if !j.linkTrace.IsZero() {
+		ctx, sp = s.opts.Tracer.StartLinked(context.Background(), j.linkTrace, j.linkSpan, "serve.job")
+	} else {
+		ctx, sp = s.opts.Tracer.StartRoot(context.Background(), "serve.job")
+	}
 	sp.SetAttrUint("job", j.id)
 	sp.SetAttr("kind", string(j.spec.Kind))
 	if j.spec.Name != "" {
@@ -322,8 +371,24 @@ func (s *Service) enterQueueTrace(j *job) {
 // survives any crash. Returns ErrQueueFull when the admission queue is
 // at capacity and ErrDraining during graceful shutdown.
 func (s *Service) Submit(spec Spec) (View, error) {
+	return s.SubmitTraced(spec, "")
+}
+
+// SubmitTraced is Submit continuing a remote trace: traceparent, when a
+// valid sampled W3C header value (the HTTP layer passes the submitter's
+// header through), links the job's root span under the remote caller's
+// span — how a sharded sweep's sub-jobs appear inside the coordinator's
+// trace. An empty or malformed value degrades to a plain Submit.
+func (s *Service) SubmitTraced(spec Spec, traceparent string) (View, error) {
 	if err := spec.Validate(); err != nil {
 		return View{}, err
+	}
+	var linkTrace tracing.TraceID
+	var linkSpan tracing.SpanID
+	if traceparent != "" {
+		if tr, sp, flags, err := tracing.ParseTraceparent(traceparent); err == nil && flags&tracing.FlagSampled != 0 {
+			linkTrace, linkSpan = tr, sp
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -340,6 +405,8 @@ func (s *Service) Submit(spec Spec) (View, error) {
 		spec:      &sp,
 		state:     StateQueued,
 		submitted: time.Now(),
+		linkTrace: linkTrace,
+		linkSpan:  linkSpan,
 		subs:      make(map[chan View]struct{}),
 	}
 	s.startJobTrace(j, false)
@@ -582,6 +649,9 @@ func (s *Service) run(j *job) {
 	runSpan.EndErr(err)
 
 	cause := context.Cause(ctx)
+	if err == nil && cause == nil {
+		s.cacheStore(j, payload)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j.cancel = nil
@@ -657,17 +727,81 @@ func (s *Service) checkFingerprint(j *job, wl *trace.Workload) error {
 		return err
 	}
 	s.mu.Lock()
-	prev := j.fingerprint
-	j.fingerprint = fp
+	prev, had := j.fingerprint, j.hasFP
+	j.fingerprint, j.hasFP = fp, true
 	s.mu.Unlock()
 	j.span.SetAttr("fingerprint", fmt.Sprintf("%016x", fp))
-	if prev != 0 && prev != fp {
+	if had && prev != fp {
 		return fmt.Errorf("fingerprint mismatch: job was journaled as %016x but its spec now rebuilds %016x; "+
 			"refusing to resume (the workload generator or configuration changed across restarts)", prev, fp)
 	}
+	fpv := fpHex(fp)
 	return s.man.append(manifestRecord{
-		Op: "start", ID: j.id, Fingerprint: fp, Unix: time.Now().Unix(),
+		Op: "start", ID: j.id, Fingerprint: &fpv, Unix: time.Now().Unix(),
 	})
+}
+
+// cacheGet consults the result cache under the job's fingerprint.
+// Call after checkFingerprint succeeded; a hit marks the job cache_hit
+// (surfaced in views, SSE, and the finish manifest record) and returns
+// the decoded payload, skipping simulation entirely.
+func (s *Service) cacheGet(j *job) (*Payload, bool) {
+	if s.opts.Cache == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	fp, ok := j.fingerprint, j.hasFP
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	raw, hit, err := s.opts.Cache.Get(fp)
+	if err != nil {
+		slog.WarnContext(j.traceCtx, "result cache read failed; simulating", "job", j.id, "err", err)
+	}
+	var p Payload
+	if hit && err == nil {
+		if uerr := json.Unmarshal(raw, &p); uerr != nil {
+			// Structurally valid entry, wrong shape: treat as a miss (the
+			// store already checksummed the bytes, so this means a format
+			// change, not corruption).
+			slog.WarnContext(j.traceCtx, "cached payload undecodable; simulating", "job", j.id, "err", uerr)
+			hit = false
+		}
+	}
+	if !hit || err != nil {
+		s.ins.cacheMiss.Inc()
+		return nil, false
+	}
+	s.ins.cacheHit.Inc()
+	s.mu.Lock()
+	j.cacheHit = true
+	s.mu.Unlock()
+	j.span.SetAttrBool("cache_hit", true)
+	slog.InfoContext(j.traceCtx, "job answered from result cache",
+		"job", j.id, "fingerprint", fmt.Sprintf("%016x", fp))
+	return &p, true
+}
+
+// cacheStore writes a successful payload back to the result cache.
+// Failures only log — the job already has its answer.
+func (s *Service) cacheStore(j *job, payload *Payload) {
+	if s.opts.Cache == nil || payload == nil {
+		return
+	}
+	s.mu.Lock()
+	fp, ok, hit := j.fingerprint, j.hasFP, j.cacheHit
+	s.mu.Unlock()
+	if !ok || hit {
+		return
+	}
+	raw, err := json.Marshal(payload)
+	if err == nil {
+		err = s.opts.Cache.Put(fp, raw)
+	}
+	if err != nil {
+		slog.WarnContext(j.traceCtx, "result cache write failed", "job", j.id, "err", err)
+	}
 }
 
 // jobFile returns the job's per-job state file path.
@@ -707,6 +841,9 @@ func (s *Service) runSweep(ctx context.Context, j *job) (*Payload, error) {
 	if err := s.checkFingerprint(j, wl); err != nil {
 		return nil, err
 	}
+	if p, ok := s.cacheGet(j); ok {
+		return p, nil
+	}
 	jobs := make([]sweep.Job, len(j.spec.Points))
 	for i := range j.spec.Points {
 		cfg, err := j.spec.Points[i].Config.Config()
@@ -714,6 +851,9 @@ func (s *Service) runSweep(ctx context.Context, j *job) (*Payload, error) {
 			return nil, err
 		}
 		jobs[i] = sweep.Job{Name: j.spec.PointName(i), Config: cfg, Workload: wl}
+	}
+	if len(s.opts.Peers) > 0 && !j.spec.NoShard && len(jobs) > 1 {
+		return s.runShardedSweep(ctx, j, jobs)
 	}
 	jnl, err := sweep.OpenJournal(s.jobFile(j.id, ".jnl"))
 	if err != nil {
@@ -749,6 +889,9 @@ func (s *Service) runSweep(ctx context.Context, j *job) (*Payload, error) {
 func (s *Service) runExperiment(ctx context.Context, j *job) (*Payload, error) {
 	if err := s.checkFingerprint(j, nil); err != nil {
 		return nil, err
+	}
+	if p, ok := s.cacheGet(j); ok {
+		return p, nil
 	}
 	o := experiments.Default()
 	if j.spec.Full {
@@ -802,7 +945,7 @@ func (s *Service) finishLocked(j *job, state State, errMsg string, payload *Payl
 	j.finished = time.Now()
 	if err := s.man.append(manifestRecord{
 		Op: "finish", ID: j.id, State: state, Error: errMsg,
-		Result: payload, Unix: j.finished.Unix(),
+		Result: payload, CacheHit: j.cacheHit, Unix: j.finished.Unix(),
 	}); err != nil {
 		// A manifest that stopped accepting writes means terminal states
 		// no longer survive restarts; surface it on the job itself.
@@ -844,6 +987,7 @@ func (s *Service) viewLocked(j *job, withSpec, withResult bool) View {
 		State:     j.state,
 		Error:     j.errMsg,
 		Recovered: j.recovered,
+		CacheHit:  j.cacheHit,
 	}
 	if j.span.Sampled() {
 		v.TraceID = j.span.Trace().String()

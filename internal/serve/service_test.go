@@ -435,7 +435,8 @@ func TestRecoveryRefusesChangedSpec(t *testing.T) {
 	if err := man.append(manifestRecord{Op: "submit", ID: 1, Spec: &spec, Unix: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := man.append(manifestRecord{Op: "start", ID: 1, Fingerprint: 0xdeadbeef, Unix: 2}); err != nil {
+	badFP := fpHex(0xdeadbeef)
+	if err := man.append(manifestRecord{Op: "start", ID: 1, Fingerprint: &badFP, Unix: 2}); err != nil {
 		t.Fatal(err)
 	}
 	man.Close()

@@ -29,6 +29,9 @@ func (s *Service) runSim(ctx context.Context, j *job) (*Payload, error) {
 	if err := s.checkFingerprint(j, wl); err != nil {
 		return nil, err
 	}
+	if p, ok := s.cacheGet(j); ok {
+		return p, nil
+	}
 	cfg, err := j.spec.Config.Config()
 	if err != nil {
 		return nil, err

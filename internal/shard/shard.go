@@ -1,0 +1,438 @@
+// Package shard fans one sweep's rows out across multiple hbmserved
+// peers over the plain HTTP job API, with work-stealing reassignment of
+// stragglers and a local fallback when every peer is gone.
+//
+// The coordinator owns no new wire format: a shard is an ordinary sweep
+// job (a subset of the parent's points, names pinned so journal keys
+// match), submitted with POST /jobs and polled with GET /jobs/{id} like
+// any human client would. That buys the full robustness stack underneath
+// for free — a peer that is SIGKILLed mid-shard either resumes the
+// sub-job from its own journal on restart, or the coordinator re-runs
+// the shard elsewhere; either way every row is journaled at most once on
+// the coordinator, keyed by the same name|config|workload key the
+// single-node path uses.
+//
+// Stealing is racing, not preemptive: when a shard has run longer than
+// StealAfter, one duplicate dispatch is allowed on an idle peer, the
+// first terminal answer wins, and the loser's remote job is cancelled
+// best-effort. Rows are delivered through an onRow callback in arrival
+// order; callers that need a canonical order merge afterwards (see
+// sweep.RewriteCanonical).
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"hbmsim/internal/core"
+	"hbmsim/internal/metrics"
+	"hbmsim/internal/tracing"
+)
+
+// RowOutcome is one finished sweep row, addressed by its index in the
+// parent job's point list.
+type RowOutcome struct {
+	Index  int
+	Result *core.Result
+	Err    string
+}
+
+// Options configures a Coordinator. MakeSpec and RunLocal are required;
+// zero values elsewhere select the documented defaults.
+type Options struct {
+	// Peers are base URLs of hbmserved instances ("http://host:port").
+	// An empty list sends everything through RunLocal.
+	Peers []string
+	// Client issues the peer requests (default http.DefaultClient).
+	Client *http.Client
+	// RowsPerShard is the shard size in sweep points (default 4). Smaller
+	// shards rebalance better; larger ones amortise submission overhead.
+	RowsPerShard int
+	// StealAfter is how long a shard may run on one peer before an idle
+	// peer is allowed to race a duplicate of it (default 30s).
+	StealAfter time.Duration
+	// PollEvery is the remote job polling cadence (default 50ms).
+	PollEvery time.Duration
+	// MaxPeerFailures abandons a peer after this many consecutive failed
+	// shard attempts (default 3). Its shards re-enter the queue.
+	MaxPeerFailures int
+	// Metrics, when non-nil, receives the shard_* counters.
+	Metrics *metrics.Registry
+	// MakeSpec renders the POST /jobs body for a shard: a self-contained
+	// sweep spec covering exactly the given parent point indices, in
+	// order.
+	MakeSpec func(points []int) ([]byte, error)
+	// RunLocal executes points on the coordinator itself — the fallback
+	// when peers are exhausted — emitting each finished row.
+	RunLocal func(ctx context.Context, points []int, emit func(RowOutcome)) error
+}
+
+func (o Options) withDefaults() Options {
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.RowsPerShard <= 0 {
+		o.RowsPerShard = 4
+	}
+	if o.StealAfter <= 0 {
+		o.StealAfter = 30 * time.Second
+	}
+	if o.PollEvery <= 0 {
+		o.PollEvery = 50 * time.Millisecond
+	}
+	if o.MaxPeerFailures <= 0 {
+		o.MaxPeerFailures = 3
+	}
+	return o
+}
+
+// instruments bundles the shard_* metrics; zero-valued instruments
+// (from a nil registry) are no-ops.
+type instruments struct {
+	dispatched, steals, peerFailures, localFallback *metrics.Counter
+}
+
+func newInstruments(reg *metrics.Registry) instruments {
+	return instruments{
+		dispatched: reg.Counter("shard_subjobs_dispatched_total",
+			"shard sub-jobs submitted to peers (including steal duplicates)"),
+		steals: reg.Counter("shard_steals_total",
+			"straggler shards raced onto a second peer after steal-after"),
+		peerFailures: reg.Counter("shard_peer_failures_total",
+			"shard attempts that failed on a peer (shard re-enters the queue)"),
+		localFallback: reg.Counter("shard_local_fallback_rows_total",
+			"sweep rows run on the coordinator after peers were exhausted"),
+	}
+}
+
+// Coordinator distributes sweep rows across peers. One Coordinator runs
+// one job; construct per Run.
+type Coordinator struct {
+	o   Options
+	ins instruments
+}
+
+// New validates the options and builds a coordinator.
+func New(o Options) (*Coordinator, error) {
+	if o.MakeSpec == nil {
+		return nil, errors.New("shard: Options.MakeSpec is required")
+	}
+	if o.RunLocal == nil {
+		return nil, errors.New("shard: Options.RunLocal is required")
+	}
+	o = o.withDefaults()
+	return &Coordinator{o: o, ins: newInstruments(o.Metrics)}, nil
+}
+
+// shardRec is one shard's scheduling state, guarded by Run's mutex.
+type shardRec struct {
+	points  []int
+	done    bool
+	running int       // active attempts (0, 1, or 2 during a steal race)
+	started time.Time // first active attempt's start, for steal eligibility
+	stolen  bool      // a duplicate dispatch has been granted
+}
+
+// errSuperseded marks an attempt whose shard was finished by a faster
+// racer — not a failure, nothing to requeue.
+var errSuperseded = errors.New("shard: superseded by a faster attempt")
+
+// Run executes the given parent point indices: shards are dealt to peers,
+// stragglers are stolen, failed shards re-enter the queue, and whatever
+// no peer could finish runs locally. onRow is called once per finished
+// row (arrival order, possibly concurrently with other rows) and must be
+// safe for concurrent use. Run returns the context's cause when it is
+// cancelled mid-flight; otherwise every point has been emitted.
+func (c *Coordinator) Run(ctx context.Context, pending []int, onRow func(RowOutcome)) error {
+	if len(pending) == 0 {
+		return nil
+	}
+	var mu sync.Mutex
+	var shards []*shardRec
+	for lo := 0; lo < len(pending); lo += c.o.RowsPerShard {
+		hi := lo + c.o.RowsPerShard
+		if hi > len(pending) {
+			hi = len(pending)
+		}
+		shards = append(shards, &shardRec{points: pending[lo:hi]})
+	}
+
+	// pickLocked returns the next shard for an idle peer: an unassigned
+	// shard first, else a steal-eligible straggler. allDone reports that
+	// nothing (queued or running) remains.
+	pickLocked := func() (rec *shardRec, steal, allDone bool) {
+		allDone = true
+		var victim *shardRec
+		for _, r := range shards {
+			if r.done {
+				continue
+			}
+			allDone = false
+			if r.running == 0 {
+				return r, false, false
+			}
+			if !r.stolen && r.running == 1 && time.Since(r.started) > c.o.StealAfter {
+				victim = r
+			}
+		}
+		if victim != nil {
+			victim.stolen = true
+			return victim, true, false
+		}
+		return nil, false, allDone
+	}
+
+	var wg sync.WaitGroup
+	for _, peer := range c.o.Peers {
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			failures := 0
+			for ctx.Err() == nil {
+				mu.Lock()
+				rec, steal, allDone := pickLocked()
+				if allDone {
+					mu.Unlock()
+					return
+				}
+				if rec == nil {
+					mu.Unlock()
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(c.o.PollEvery):
+					}
+					continue
+				}
+				rec.running++
+				if rec.running == 1 {
+					rec.started = time.Now()
+				}
+				mu.Unlock()
+				if steal {
+					c.ins.steals.Inc()
+					slog.Info("stealing straggler shard", "peer", peer, "points", rec.points)
+				}
+
+				supersededCheck := func() bool {
+					mu.Lock()
+					defer mu.Unlock()
+					return rec.done
+				}
+				rows, err := c.runShardOn(ctx, peer, rec.points, supersededCheck)
+
+				mu.Lock()
+				rec.running--
+				won := false
+				switch {
+				case errors.Is(err, errSuperseded) || ctx.Err() != nil:
+					// Nothing to do: the racer delivered, or we are unwinding.
+				case err != nil:
+					failures++
+					c.ins.peerFailures.Inc()
+					slog.Warn("shard attempt failed; shard re-queued",
+						"peer", peer, "points", rec.points, "err", err)
+					if !rec.done && rec.running == 0 {
+						// Last attempt out: make the shard look fresh so any
+						// peer (including a restarted one) may pick it up.
+						rec.stolen = false
+					}
+				default:
+					failures = 0
+					if !rec.done {
+						rec.done = true
+						won = true
+					}
+				}
+				mu.Unlock()
+				if won {
+					for _, row := range rows {
+						onRow(row)
+					}
+				}
+				if failures >= c.o.MaxPeerFailures {
+					slog.Warn("abandoning peer after repeated failures",
+						"peer", peer, "failures", failures)
+					return
+				}
+			}
+		}(peer)
+	}
+	wg.Wait()
+
+	if err := context.Cause(ctx); err != nil {
+		return err
+	}
+	// Whatever no peer finished — peers all abandoned, or none configured —
+	// runs here. The parent journal already holds the finished rows, so
+	// this is exactly the leftover work.
+	var rest []int
+	for _, r := range shards {
+		if !r.done {
+			rest = append(rest, r.points...)
+		}
+	}
+	if len(rest) == 0 {
+		return nil
+	}
+	slog.Info("running leftover shard rows locally", "rows", len(rest))
+	c.ins.localFallback.Add(uint64(len(rest)))
+	if err := c.o.RunLocal(ctx, rest, onRow); err != nil {
+		return err
+	}
+	return context.Cause(ctx)
+}
+
+// peerView is the slice of serve.View the coordinator needs; decoding
+// into a local mirror avoids an import cycle with internal/serve.
+type peerView struct {
+	ID     uint64 `json:"id"`
+	State  string `json:"state"`
+	Error  string `json:"error"`
+	Result *struct {
+		Rows []struct {
+			Name   string       `json:"name"`
+			Result *core.Result `json:"result"`
+			Error  string       `json:"error"`
+		} `json:"rows"`
+	} `json:"result"`
+}
+
+func terminal(state string) bool {
+	return state == "done" || state == "failed" || state == "cancelled"
+}
+
+// pollFailLimit bounds consecutive poll errors before the attempt is
+// declared failed (a SIGKILLed peer refuses connections immediately; a
+// peer restarting in place starts answering again and the attempt
+// continues — both roads lead to every row landing exactly once).
+const pollFailLimit = 10
+
+// runShardOn runs one shard attempt on one peer: submit, poll to a
+// terminal state, map rows back to parent indices. superseded is checked
+// each poll; when the race is lost the remote job is cancelled
+// best-effort and errSuperseded returned.
+func (c *Coordinator) runShardOn(ctx context.Context, peer string, points []int, superseded func() bool) ([]RowOutcome, error) {
+	body, err := c.o.MakeSpec(points)
+	if err != nil {
+		return nil, fmt.Errorf("building shard spec: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	// Continue the coordinator's trace on the peer: the sub-job's spans
+	// link back through the W3C traceparent header.
+	if sp := tracing.SpanFromContext(ctx); sp.Sampled() {
+		req.Header.Set("traceparent", sp.Traceparent())
+	}
+	view, err := doJSON(c.o.Client, req)
+	if err != nil {
+		return nil, fmt.Errorf("submitting to %s: %w", peer, err)
+	}
+	c.ins.dispatched.Inc()
+	jobURL := fmt.Sprintf("%s/jobs/%d", peer, view.ID)
+
+	pollFails := 0
+	for {
+		select {
+		case <-ctx.Done():
+			c.cancelRemote(jobURL)
+			return nil, context.Cause(ctx)
+		case <-time.After(c.o.PollEvery):
+		}
+		if superseded() {
+			c.cancelRemote(jobURL)
+			return nil, errSuperseded
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, jobURL, nil)
+		if err != nil {
+			return nil, err
+		}
+		v, err := doJSON(c.o.Client, req)
+		if err != nil {
+			if pollFails++; pollFails >= pollFailLimit {
+				return nil, fmt.Errorf("polling %s: %w", jobURL, err)
+			}
+			continue
+		}
+		pollFails = 0
+		if !terminal(v.State) {
+			continue
+		}
+		if v.State != "done" {
+			return nil, fmt.Errorf("shard job %s finished %s: %s", jobURL, v.State, v.Error)
+		}
+		if v.Result == nil || len(v.Result.Rows) != len(points) {
+			return nil, fmt.Errorf("shard job %s returned %d rows, want %d",
+				jobURL, rowCount(v), len(points))
+		}
+		out := make([]RowOutcome, len(points))
+		for i, row := range v.Result.Rows {
+			out[i] = RowOutcome{Index: points[i], Result: row.Result, Err: row.Error}
+		}
+		return out, nil
+	}
+}
+
+func rowCount(v *peerView) int {
+	if v.Result == nil {
+		return 0
+	}
+	return len(v.Result.Rows)
+}
+
+// cancelRemote best-effort-cancels a remote job so a lost race or an
+// unwinding coordinator does not leave peers simulating for nobody.
+func (c *Coordinator) cancelRemote(jobURL string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, jobURL, nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.o.Client.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// doJSON performs req and decodes the job-view response, surfacing
+// non-2xx statuses as errors carrying the server's error body.
+func doJSON(client *http.Client, req *http.Request) (*peerView, error) {
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.Unmarshal(raw, &e)
+		if e.Error == "" {
+			e.Error = string(raw)
+		}
+		return nil, fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	var v peerView
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, fmt.Errorf("decoding job view: %w", err)
+	}
+	return &v, nil
+}

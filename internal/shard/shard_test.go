@@ -1,0 +1,473 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hbmsim/internal/core"
+	"hbmsim/internal/metrics"
+	"hbmsim/internal/model"
+	"hbmsim/internal/tracing"
+)
+
+// fakeSpec is the sub-job body the test MakeSpec produces: just the
+// parent point indices.
+type fakeSpec struct {
+	Points []int `json:"points"`
+}
+
+func makeFakeSpec(points []int) ([]byte, error) {
+	return json.Marshal(fakeSpec{Points: points})
+}
+
+// fakePeer is an httptest hbmserved stand-in: POST /jobs accepts a
+// fakeSpec, GET /jobs/{id} answers "running" until delay elapses, then
+// "done" with one row per point (Makespan = point index, so the caller
+// can verify the index mapping). Configurable failure modes cover the
+// coordinator's requeue and steal paths.
+type fakePeer struct {
+	t *testing.T
+	// delay before submitted jobs turn done.
+	delay time.Duration
+	// rejectSubmits makes POST /jobs fail with 503.
+	rejectSubmits atomic.Bool
+	// failJobs makes jobs finish in state failed.
+	failJobs atomic.Bool
+	// stall makes jobs never finish (for steal tests).
+	stall atomic.Bool
+
+	mu        sync.Mutex
+	nextID    uint64
+	jobs      map[uint64]*fakeJob
+	submits   int
+	cancels   int
+	lastTP    string // last traceparent header seen
+	srv       *httptest.Server
+	completed []int // point indices this peer answered
+}
+
+type fakeJob struct {
+	points    []int
+	start     time.Time
+	cancelled bool
+}
+
+func newFakePeer(t *testing.T, delay time.Duration) *fakePeer {
+	p := &fakePeer{t: t, delay: delay, jobs: make(map[uint64]*fakeJob)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", p.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", p.handleGet)
+	mux.HandleFunc("DELETE /jobs/{id}", p.handleCancel)
+	p.srv = httptest.NewServer(mux)
+	t.Cleanup(p.srv.Close)
+	return p
+}
+
+func (p *fakePeer) URL() string { return p.srv.URL }
+
+func (p *fakePeer) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if p.rejectSubmits.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"draining"}`)
+		return
+	}
+	var spec fakeSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		w.WriteHeader(http.StatusBadRequest)
+		return
+	}
+	p.mu.Lock()
+	p.submits++
+	p.lastTP = r.Header.Get("traceparent")
+	p.nextID++
+	id := p.nextID
+	p.jobs[id] = &fakeJob{points: spec.Points, start: time.Now()}
+	p.mu.Unlock()
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintf(w, `{"id":%d,"state":"queued"}`, id)
+}
+
+func (p *fakePeer) handleGet(w http.ResponseWriter, r *http.Request) {
+	var id uint64
+	fmt.Sscanf(r.PathValue("id"), "%d", &id)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j := p.jobs[id]
+	if j == nil {
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":"no such job"}`)
+		return
+	}
+	switch {
+	case j.cancelled:
+		fmt.Fprintf(w, `{"id":%d,"state":"cancelled","error":"cancelled by request"}`, id)
+	case p.stall.Load() || time.Since(j.start) < p.delay:
+		fmt.Fprintf(w, `{"id":%d,"state":"running"}`, id)
+	case p.failJobs.Load():
+		fmt.Fprintf(w, `{"id":%d,"state":"failed","error":"boom"}`, id)
+	default:
+		p.completed = append(p.completed, j.points...)
+		rows := make([]map[string]any, len(j.points))
+		for i, pt := range j.points {
+			rows[i] = map[string]any{
+				"name":   fmt.Sprintf("point-%d", pt),
+				"result": core.Result{Makespan: model.Tick(1000 + pt)},
+			}
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"id": id, "state": "done", "result": map[string]any{"rows": rows},
+		})
+	}
+}
+
+func (p *fakePeer) handleCancel(w http.ResponseWriter, r *http.Request) {
+	var id uint64
+	fmt.Sscanf(r.PathValue("id"), "%d", &id)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cancels++
+	if j := p.jobs[id]; j != nil {
+		j.cancelled = true
+	}
+	fmt.Fprintf(w, `{"id":%d,"state":"cancelled"}`, id)
+}
+
+// counterValue reads one counter from the registry's snapshot (reading
+// via Snapshot, not Counter, keeps registration confined to shard.go).
+func counterValue(reg *metrics.Registry, name string) float64 {
+	for _, s := range reg.Snapshot() {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	return 0
+}
+
+// collectRows runs the coordinator and gathers outcomes.
+func collectRows(t *testing.T, o Options, pending []int) ([]RowOutcome, error) {
+	t.Helper()
+	c, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var rows []RowOutcome
+	runErr := c.Run(context.Background(), pending, func(r RowOutcome) {
+		mu.Lock()
+		rows = append(rows, r)
+		mu.Unlock()
+	})
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Index < rows[j].Index })
+	return rows, runErr
+}
+
+func noLocal(ctx context.Context, points []int, emit func(RowOutcome)) error {
+	return errors.New("local fallback must not run in this test")
+}
+
+func TestShardHappyPathTwoPeers(t *testing.T) {
+	p1 := newFakePeer(t, 10*time.Millisecond)
+	p2 := newFakePeer(t, 10*time.Millisecond)
+	reg := metrics.NewRegistry()
+	pending := []int{0, 1, 2, 3, 4, 5, 6}
+	rows, err := collectRows(t, Options{
+		Peers:        []string{p1.URL(), p2.URL()},
+		RowsPerShard: 2,
+		PollEvery:    5 * time.Millisecond,
+		Metrics:      reg,
+		MakeSpec:     makeFakeSpec,
+		RunLocal:     noLocal,
+	}, pending)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rows) != len(pending) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(pending))
+	}
+	for i, r := range rows {
+		if r.Index != pending[i] || r.Result == nil || r.Err != "" {
+			t.Fatalf("row %d wrong: %+v", i, r)
+		}
+	}
+	// Both peers did work (4 shards across 2 idle peers).
+	p1.mu.Lock()
+	s1 := p1.submits
+	p1.mu.Unlock()
+	p2.mu.Lock()
+	s2 := p2.submits
+	p2.mu.Unlock()
+	if s1 == 0 || s2 == 0 {
+		t.Fatalf("work not distributed: peer submits %d / %d", s1, s2)
+	}
+}
+
+func TestShardIndexMapping(t *testing.T) {
+	// Non-contiguous pending (a resumed job): indices must round-trip.
+	p1 := newFakePeer(t, 0)
+	rows, err := collectRows(t, Options{
+		Peers:        []string{p1.URL()},
+		RowsPerShard: 3,
+		PollEvery:    2 * time.Millisecond,
+		MakeSpec:     makeFakeSpec,
+		RunLocal:     noLocal,
+	}, []int{1, 4, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int, len(rows))
+	for i, r := range rows {
+		got[i] = r.Index
+	}
+	want := []int{1, 4, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("indices %v, want %v", got, want)
+		}
+	}
+}
+
+func TestShardStealsStraggler(t *testing.T) {
+	// Peer 1 stalls forever; peer 2 is healthy. The shard on peer 1 must
+	// be stolen onto peer 2 after StealAfter, and the stalled remote job
+	// cancelled.
+	p1 := newFakePeer(t, 0)
+	p2 := newFakePeer(t, 0)
+	p1.stall.Store(true)
+	reg := metrics.NewRegistry()
+	rows, err := collectRows(t, Options{
+		Peers:        []string{p1.URL(), p2.URL()},
+		RowsPerShard: 2,
+		StealAfter:   30 * time.Millisecond,
+		PollEvery:    5 * time.Millisecond,
+		Metrics:      reg,
+		MakeSpec:     makeFakeSpec,
+		RunLocal:     noLocal,
+	}, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	if v := counterValue(reg, "shard_steals_total"); v == 0 {
+		t.Fatal("no steal recorded despite a stalled peer")
+	}
+	// The winner cancelled the stalled duplicate.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		p1.mu.Lock()
+		c := p1.cancels
+		p1.mu.Unlock()
+		if c > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stalled remote job was never cancelled")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestShardDeadPeerFallsBackToOthers(t *testing.T) {
+	// One peer refuses all submissions: it is abandoned after
+	// MaxPeerFailures and the healthy peer finishes everything.
+	p1 := newFakePeer(t, 0)
+	p2 := newFakePeer(t, 0)
+	p1.rejectSubmits.Store(true)
+	reg := metrics.NewRegistry()
+	rows, err := collectRows(t, Options{
+		Peers:           []string{p1.URL(), p2.URL()},
+		RowsPerShard:    1,
+		PollEvery:       2 * time.Millisecond,
+		MaxPeerFailures: 2,
+		Metrics:         reg,
+		MakeSpec:        makeFakeSpec,
+		RunLocal:        noLocal,
+	}, []int{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(rows))
+	}
+	if v := counterValue(reg, "shard_peer_failures_total"); v == 0 {
+		t.Fatal("peer failures not counted")
+	}
+}
+
+func TestShardFailedSubJobRequeues(t *testing.T) {
+	// Peer 1 finishes jobs in state failed; the shard re-enters the queue
+	// and peer 2 completes it.
+	p1 := newFakePeer(t, 0)
+	p2 := newFakePeer(t, 5*time.Millisecond)
+	p1.failJobs.Store(true)
+	rows, err := collectRows(t, Options{
+		Peers:           []string{p1.URL(), p2.URL()},
+		RowsPerShard:    2,
+		PollEvery:       2 * time.Millisecond,
+		MaxPeerFailures: 2,
+		MakeSpec:        makeFakeSpec,
+		RunLocal:        noLocal,
+	}, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	p2.mu.Lock()
+	defer p2.mu.Unlock()
+	if len(p2.completed) != 3 {
+		t.Fatalf("healthy peer completed %v, want all 3 points", p2.completed)
+	}
+}
+
+func TestShardLocalFallbackWhenAllPeersDead(t *testing.T) {
+	p1 := newFakePeer(t, 0)
+	p1.rejectSubmits.Store(true)
+	reg := metrics.NewRegistry()
+	var localRan atomic.Bool
+	c, err := New(Options{
+		Peers:           []string{p1.URL()},
+		RowsPerShard:    2,
+		PollEvery:       2 * time.Millisecond,
+		MaxPeerFailures: 1,
+		Metrics:         reg,
+		MakeSpec:        makeFakeSpec,
+		RunLocal: func(ctx context.Context, points []int, emit func(RowOutcome)) error {
+			localRan.Store(true)
+			for _, p := range points {
+				emit(RowOutcome{Index: p, Result: &core.Result{}})
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []RowOutcome
+	var mu sync.Mutex
+	if err := c.Run(context.Background(), []int{0, 1, 2}, func(r RowOutcome) {
+		mu.Lock()
+		rows = append(rows, r)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !localRan.Load() {
+		t.Fatal("local fallback never ran")
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	if v := counterValue(reg, "shard_local_fallback_rows_total"); v != 3 {
+		t.Fatalf("shard_local_fallback_rows_total = %g, want 3", v)
+	}
+}
+
+func TestShardNoPeersRunsLocal(t *testing.T) {
+	var localRan atomic.Bool
+	c, err := New(Options{
+		MakeSpec: makeFakeSpec,
+		RunLocal: func(ctx context.Context, points []int, emit func(RowOutcome)) error {
+			localRan.Store(true)
+			for _, p := range points {
+				emit(RowOutcome{Index: p, Result: &core.Result{}})
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := c.Run(context.Background(), []int{0, 1}, func(RowOutcome) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if !localRan.Load() || n != 2 {
+		t.Fatalf("local-only run: ran=%v rows=%d", localRan.Load(), n)
+	}
+}
+
+func TestShardContextCancelUnwinds(t *testing.T) {
+	p1 := newFakePeer(t, 0)
+	p1.stall.Store(true)
+	c, err := New(Options{
+		Peers:        []string{p1.URL()},
+		RowsPerShard: 2,
+		PollEvery:    2 * time.Millisecond,
+		MakeSpec:     makeFakeSpec,
+		RunLocal:     noLocal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	err = c.Run(ctx, []int{0, 1}, func(RowOutcome) { t.Error("no rows expected") })
+	if err == nil {
+		t.Fatal("cancelled Run returned nil")
+	}
+	// The in-flight remote job is cancelled best-effort.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		p1.mu.Lock()
+		cn := p1.cancels
+		p1.mu.Unlock()
+		if cn > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("remote job not cancelled after Run unwound")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestShardPropagatesTraceparent(t *testing.T) {
+	p1 := newFakePeer(t, 0)
+	c, err := New(Options{
+		Peers:        []string{p1.URL()},
+		RowsPerShard: 4,
+		PollEvery:    2 * time.Millisecond,
+		MakeSpec:     makeFakeSpec,
+		RunLocal:     noLocal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := tracing.New(tracing.Options{Sample: 1})
+	ctx, sp := tracer.StartRoot(context.Background(), "test.coordinator")
+	defer sp.End()
+	if err := c.Run(ctx, []int{0, 1}, func(RowOutcome) {}); err != nil {
+		t.Fatal(err)
+	}
+	p1.mu.Lock()
+	tp := p1.lastTP
+	p1.mu.Unlock()
+	if tp == "" {
+		t.Fatal("no traceparent header reached the peer")
+	}
+	tr, _, flags, err := tracing.ParseTraceparent(tp)
+	if err != nil {
+		t.Fatalf("peer received invalid traceparent %q: %v", tp, err)
+	}
+	if flags&tracing.FlagSampled == 0 {
+		t.Fatalf("traceparent %q not sampled", tp)
+	}
+	if tr != sp.Trace() {
+		t.Fatalf("traceparent trace %s, want the coordinator's %s", tr, sp.Trace())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"hbmsim/internal/core"
@@ -26,13 +27,31 @@ import (
 //
 // The file is recovered leniently on open: a torn final line (the
 // process died mid-append) or trailing garbage is discarded — the file
-// is truncated back to the last intact row — and every intact row before
-// it is kept.
+// is truncated back to the last intact row, and the truncation is
+// fsynced so a crash shortly after recovery cannot resurrect the torn
+// bytes — and every intact row before it is kept. A failed append is
+// likewise rewound: the partial bytes are truncated away before Record
+// returns, so the next successful append can never concatenate onto a
+// torn line.
 type Journal struct {
 	mu     sync.Mutex
-	f      *os.File
+	f      journalFile
+	off    int64 // durable end offset: everything below is intact, fsynced rows
 	seen   map[string]*core.Result
 	wlHash map[*trace.Workload]uint64
+}
+
+// journalFile is the file surface the journal needs. *os.File satisfies
+// it; the fault-injection tests substitute wrappers whose writes fail
+// partway through — the one failure shape /dev/full cannot produce
+// (writes to it never partially succeed, and reads never terminate).
+type journalFile interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(int64) error
 }
 
 // journalEntry is the on-disk form of one completed row.
@@ -42,13 +61,31 @@ type journalEntry struct {
 }
 
 // OpenJournal opens (creating if needed) the journal at path and loads
-// every intact row. The file is truncated past the last intact row, so
-// subsequent Records append to a clean tail.
+// every intact row. The file is truncated past the last intact row and
+// the truncation is synced, so subsequent Records append to a clean,
+// durable tail; the parent directory is fsynced too, so a freshly
+// created journal survives a crash immediately after open.
 func OpenJournal(path string) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
+	j, err := openJournalFile(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: syncing journal directory: %w", err)
+	}
+	return j, nil
+}
+
+// openJournalFile is OpenJournal past the os.OpenFile: recovery over an
+// already-open file. Split out so fault-injection tests can hand in a
+// failing journalFile.
+func openJournalFile(f journalFile) (*Journal, error) {
 	j := &Journal{
 		f:      f,
 		seen:   make(map[string]*core.Result),
@@ -56,18 +93,32 @@ func OpenJournal(path string) (*Journal, error) {
 	}
 	good, err := j.load()
 	if err != nil {
-		f.Close()
 		return nil, err
 	}
 	if err := f.Truncate(good); err != nil {
-		f.Close()
 		return nil, fmt.Errorf("sweep: truncating journal tail: %w", err)
 	}
+	// Sync the truncation: without it, a crash after recovery can
+	// resurrect the torn line the next reopen already discarded once.
+	if err := f.Sync(); err != nil {
+		return nil, fmt.Errorf("sweep: syncing truncated journal: %w", err)
+	}
 	if _, err := f.Seek(good, io.SeekStart); err != nil {
-		f.Close()
 		return nil, err
 	}
+	j.off = good
 	return j, nil
+}
+
+// syncDir fsyncs a directory so a just-created (or just-renamed) entry
+// in it survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // load scans the journal, filling seen, and returns the offset just past
@@ -118,7 +169,11 @@ func (j *Journal) Lookup(job Job) (*core.Result, bool) {
 }
 
 // Record appends one completed row and syncs it to stable storage, so a
-// crash immediately after a job finishes cannot lose it.
+// crash immediately after a job finishes cannot lose it. A failed write
+// or sync is rewound: the file is truncated back to the pre-append
+// offset so the partial bytes cannot poison the next append (without
+// the rewind, the following successful row would concatenate onto the
+// torn line and lenient reopen would discard both).
 func (j *Journal) Record(job Job, res *core.Result) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -129,13 +184,32 @@ func (j *Journal) Record(job Job, res *core.Result) error {
 	}
 	line = append(line, '\n')
 	if _, err := j.f.Write(line); err != nil {
-		return fmt.Errorf("sweep: appending journal row: %w", err)
+		return j.rewindLocked(fmt.Errorf("sweep: appending journal row: %w", err))
 	}
 	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("sweep: syncing journal: %w", err)
+		return j.rewindLocked(fmt.Errorf("sweep: syncing journal: %w", err))
 	}
+	j.off += int64(len(line))
 	j.seen[key] = res
 	return nil
+}
+
+// rewindLocked truncates a failed append back to the last durable
+// offset and returns cause (annotated if the rewind itself failed, in
+// which case the journal should be considered poisoned). Callers hold
+// j.mu.
+func (j *Journal) rewindLocked(cause error) error {
+	if err := j.f.Truncate(j.off); err != nil {
+		return fmt.Errorf("%w (and rewinding the torn tail failed: %v)", cause, err)
+	}
+	if _, err := j.f.Seek(j.off, io.SeekStart); err != nil {
+		return fmt.Errorf("%w (and rewinding the torn tail failed: %v)", cause, err)
+	}
+	// Persist the truncation; best-effort — the original failure is what
+	// the caller needs to see, and a sync that fails here will fail again
+	// (and be reported) on the next append.
+	j.f.Sync()
+	return cause
 }
 
 // Len returns the number of rows currently journaled.
@@ -147,3 +221,40 @@ func (j *Journal) Len() int {
 
 // Close closes the underlying file. Recording after Close fails.
 func (j *Journal) Close() error { return j.f.Close() }
+
+// RewriteCanonical atomically replaces the journal at path with exactly
+// the given rows' successful results, in row order — the merge step of
+// a sharded sweep. Rows with a nil Result or a non-nil Err are skipped,
+// matching the append-path rule that only successful rows are
+// journaled; a single-node sweep run with one worker journals rows in
+// this same (job) order, so the rewritten file is byte-identical to the
+// journal that run would have produced. The replacement is crash-safe:
+// tmp file, fsync (inside Close via the journal's own Record syncs),
+// rename, directory fsync.
+func RewriteCanonical(path string, rows []Row) error {
+	tmp := path + ".tmp"
+	os.Remove(tmp)
+	j, err := OpenJournal(tmp)
+	if err != nil {
+		return fmt.Errorf("sweep: opening canonical journal: %w", err)
+	}
+	for i := range rows {
+		if rows[i].Err != nil || rows[i].Result == nil {
+			continue
+		}
+		if err := j.Record(rows[i].Job, rows[i].Result); err != nil {
+			j.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := j.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("sweep: closing canonical journal: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
