@@ -1,0 +1,56 @@
+package main
+
+import (
+	"errors"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestBackendFlagEndToEnd runs the CLI under each non-default far-memory
+// backend and checks the run completes with the backend named in the
+// report header.
+func TestBackendFlagEndToEnd(t *testing.T) {
+	for _, tc := range []struct{ backend, params string }{
+		{"bandwidth", "bytes_per_tick=8,latency_ticks=2"},
+		{"hybrid", "fast_slots=8"},
+	} {
+		t.Run(tc.backend, func(t *testing.T) {
+			out, err := runCLI(t, "-gen", "stream", "-cores", "2", "-size", "1000",
+				"-k", "64", "-backend", tc.backend, "-backend-params", tc.params)
+			if err != nil {
+				t.Fatalf("CLI failed: %v\noutput:\n%s", err, out)
+			}
+			if !strings.Contains(out, "[backend="+tc.backend+"]") {
+				t.Fatalf("report header does not name the backend; output:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestBackendFlagRejectsUnknown pins the error path: an unknown backend
+// name or a bad parameter exits nonzero with a one-line error listing
+// what is valid.
+func TestBackendFlagRejectsUnknown(t *testing.T) {
+	out, err := runCLI(t, "-gen", "stream", "-cores", "2", "-size", "100",
+		"-k", "64", "-backend", "warp-drive")
+	if err == nil {
+		t.Fatalf("-backend warp-drive exited 0; output:\n%s", out)
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("running CLI: %v", err)
+	}
+	if !strings.Contains(out, "unknown backend") || !strings.Contains(out, "reference") {
+		t.Fatalf("error does not list the known backends; output:\n%s", out)
+	}
+
+	out, err = runCLI(t, "-gen", "stream", "-cores", "2", "-size", "100",
+		"-k", "64", "-backend", "hybrid", "-backend-params", "warp=9")
+	if err == nil {
+		t.Fatalf("bad -backend-params exited 0; output:\n%s", out)
+	}
+	if !strings.Contains(out, "bad parameter") {
+		t.Fatalf("error does not name the bad parameter; output:\n%s", out)
+	}
+}

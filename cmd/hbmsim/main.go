@@ -41,6 +41,8 @@ func main() {
 		mapping   = flag.String("mapping", "associative", "HBM organisation: associative|direct")
 		perm      = flag.String("permuter", "static", "priority permuter: static|dynamic|cycle|cycle-reverse|interleave")
 		remap     = flag.Uint64("T", 0, "remap period in ticks (0 = never)")
+		backend   = flag.String("backend", "reference", "far-memory model: reference|bandwidth|hybrid")
+		backendP  = flag.String("backend-params", "", "backend parameters as key=value,... (e.g. bytes_per_tick=8,latency_ticks=9)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		percore   = flag.Bool("percore", false, "print per-core summaries")
 		asJSON    = flag.Bool("json", false, "emit the full result as JSON instead of a table")
@@ -136,6 +138,9 @@ func main() {
 	if cfg.Permuter, err = hbmsim.ParsePermuter(*perm); err != nil {
 		fail(err)
 	}
+	if cfg.Backend, err = hbmsim.ParseMemBackend(*backend, *backendP); err != nil {
+		fail(err)
+	}
 
 	tele := telemetryOptions{
 		eventsPath:      *eventsCSV,
@@ -196,9 +201,12 @@ func main() {
 	}
 
 	bounds := hbmsim.LowerBounds(wl, *k, *q)
-	tbl := report.NewTable(fmt.Sprintf("Simulation of %s (p=%d, k=%d, q=%d, %s+%s, %s, permuter=%s T=%d)",
-		wl.Name, wl.Cores(), *k, *q, *arb, *repl, *mapping, *perm, *remap),
-		"metric", "value")
+	title := fmt.Sprintf("Simulation of %s (p=%d, k=%d, q=%d, %s+%s, %s, permuter=%s T=%d)",
+		wl.Name, wl.Cores(), *k, *q, *arb, *repl, *mapping, *perm, *remap)
+	if *backend != string(hbmsim.BackendReference) {
+		title += fmt.Sprintf(" [backend=%s]", *backend)
+	}
+	tbl := report.NewTable(title, "metric", "value")
 	tbl.AddRow("makespan (ticks)", uint64(res.Makespan))
 	tbl.AddRow("makespan lower bound", uint64(bounds.Makespan))
 	tbl.AddRow("competitive-ratio estimate", hbmsim.CompetitiveRatio(res.Makespan, bounds))

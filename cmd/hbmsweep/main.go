@@ -22,6 +22,7 @@ import (
 
 	"hbmsim/internal/experiments"
 	"hbmsim/internal/introspect"
+	"hbmsim/internal/membackend"
 	"hbmsim/internal/metrics"
 	"hbmsim/internal/report"
 	"hbmsim/internal/sweep"
@@ -40,6 +41,8 @@ func main() {
 		chart     = flag.Bool("chart", true, "render ASCII charts for figures")
 		sortN     = flag.Int("sortn", 0, "override sort workload size")
 		spgemmN   = flag.Int("spgemmn", 0, "override SpGEMM dimension")
+		backend   = flag.String("backend", "", "run every experiment under this far-memory model: reference|bandwidth|hybrid (empty = each experiment's own choice)")
+		backendP  = flag.String("backend-params", "", "backend parameters for -backend as key=value,... (e.g. bytes_per_tick=8)")
 		threads   = flag.String("threads", "", "override the thread-count axis, e.g. 8,32,128,200")
 		slots     = flag.String("k", "", "override the HBM-size axis, e.g. 1000,3000,5000")
 		httpAddr  = flag.String("http", "", "serve /metrics, /progress, /debug/vars, /debug/pprof on this address (e.g. :8080; empty = no listener)")
@@ -125,6 +128,23 @@ func main() {
 	}
 	if *spgemmN > 0 {
 		o.SpGEMMN = *spgemmN
+	}
+	if *backend != "" || *backendP != "" {
+		name := *backend
+		if name == "" {
+			name = string(membackend.Reference)
+		}
+		kind, err := membackend.ParseKind(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbmsweep: -backend: %v\n", err)
+			os.Exit(2)
+		}
+		bc, err := membackend.ParseParams(kind, *backendP)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbmsweep: -backend-params: %v\n", err)
+			os.Exit(2)
+		}
+		o.Backend = bc
 	}
 	if *threads != "" {
 		v, err := parseInts(*threads)

@@ -24,6 +24,11 @@
 //		RemapPeriod: 10 * hbmsim.Tick(k),
 //	}, wl)
 //
+// The far side of every miss is itself a pluggable model: Config.Backend
+// selects the paper's one-tick reference channel (the default), a
+// bandwidth/latency channel, or a hybrid two-tier far memory — see
+// MemBackends, ParseMemBackend, and BACKENDS.md for writing new ones.
+//
 // See the examples directory for full programs and the experiments package
 // for the paper's evaluation suite.
 package hbmsim
@@ -39,6 +44,7 @@ import (
 	"hbmsim/internal/core"
 	"hbmsim/internal/knl"
 	"hbmsim/internal/lowerbound"
+	"hbmsim/internal/membackend"
 	"hbmsim/internal/model"
 	"hbmsim/internal/replacement"
 	"hbmsim/internal/stackdist"
@@ -137,6 +143,44 @@ func ParseReplacement(s string) (ReplacementKind, error) {
 		}
 	}
 	return "", fmt.Errorf("hbmsim: unknown replacement %q (known: %v)", s, replacement.Kinds())
+}
+
+// Far-memory backend selection (Config.Backend; see internal/membackend).
+type (
+	// MemBackendKind names a far-memory backend model.
+	MemBackendKind = membackend.Kind
+	// MemBackendConfig selects and parameterises the far-memory model for
+	// Config.Backend. The zero value is the paper's reference model.
+	MemBackendConfig = membackend.Config
+)
+
+// Far-memory backends for Config.Backend.Kind.
+const (
+	// BackendReference is the paper's far channel: every block transfer
+	// costs one tick per channel (times Config.FetchLatency). The default.
+	BackendReference = membackend.Reference
+	// BackendBandwidth prices transfers by size over finite per-channel
+	// bandwidth, plus a fixed latency.
+	BackendBandwidth = membackend.Bandwidth
+	// BackendHybrid is a two-tier fast/slow far memory with asymmetric
+	// read/write costs and a fast tier of bounded capacity.
+	BackendHybrid = membackend.Hybrid
+)
+
+// MemBackends lists the registered far-memory backends.
+func MemBackends() []MemBackendKind { return membackend.Kinds() }
+
+// ParseMemBackend converts a backend name plus a comma-separated
+// "key=value" parameter list (the CLI's -backend / -backend-params
+// syntax; params may be empty) to a MemBackendConfig. Keys are the
+// MemBackendConfig field's JSON names, e.g.
+// "bytes_per_tick=8,latency_ticks=9".
+func ParseMemBackend(name, params string) (MemBackendConfig, error) {
+	kind, err := membackend.ParseKind(name)
+	if err != nil {
+		return MemBackendConfig{}, err
+	}
+	return membackend.ParseParams(kind, params)
 }
 
 // Far-channel arbitration policies.

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"hbmsim/internal/arbiter"
+	"hbmsim/internal/membackend"
 	"hbmsim/internal/model"
 	"hbmsim/internal/replacement"
 )
@@ -83,6 +84,21 @@ func BenchmarkSimClockReplacement(b *testing.B) {
 
 func BenchmarkSimEightChannels(b *testing.B) {
 	benchSim(b, Config{HBMSlots: 2048, Channels: 8})
+}
+
+// The backend dimension: the same contended workload under each
+// far-memory model, so a kernel change that prices one backend out
+// shows up next to the others in the benchjson snapshot.
+func BenchmarkSimBackendReference(b *testing.B) {
+	benchSim(b, Config{HBMSlots: 2048, Channels: 2})
+}
+
+func BenchmarkSimBackendBandwidth(b *testing.B) {
+	benchSim(b, Config{HBMSlots: 2048, Channels: 2, Backend: membackend.Config{Kind: membackend.Bandwidth}})
+}
+
+func BenchmarkSimBackendHybrid(b *testing.B) {
+	benchSim(b, Config{HBMSlots: 2048, Channels: 2, Backend: membackend.Config{Kind: membackend.Hybrid}})
 }
 
 // benchSimObserver is benchSim with an explicit observer (possibly nil)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"hbmsim/internal/membackend"
 	"hbmsim/internal/model"
 	"hbmsim/internal/snap"
 )
@@ -18,9 +19,12 @@ import (
 // On-disk format (all integers varint-encoded, see internal/snap):
 //
 //	magic "HBMSNAP1"          8 bytes
-//	format version            u64 (currently 2; version 2 replaced the
-//	                               queue-length Welford state with the
-//	                               exact integer depth sum and tick count)
+//	format version            u64 (currently 3; version 3 replaced the
+//	                               'I' in-flight section with the
+//	                               backend-owned 'B' section; version 2
+//	                               replaced the queue-length Welford
+//	                               state with the exact integer depth
+//	                               sum and tick count)
 //	fingerprint               u64  FNV-1a over the defaulted Config and
 //	                               the workload's traces; Resume refuses
 //	                               a snapshot whose fingerprint does not
@@ -32,7 +36,11 @@ import (
 //	'C' per-core states       trace cursor, request tick, queued/done,
 //	                          completion, starvation gap, response stats
 //	'A' active set            core IDs, strictly ascending
-//	'I' in-flight transfers   (core, page, land tick), land non-decreasing
+//	'B' memory backend        the backend's in-flight/tier state (layout
+//	                          is the backend's own; the reference
+//	                          model's payload is byte-identical to the
+//	                          old 'I' section, which is how version-2
+//	                          snapshots decode — see Resume)
 //	'P' priority permutation  pri[core] = rank, validated as a permutation
 //	'H' HBM store             residency + replacement-policy state
 //	'Q' arbiter queue         queued requests (+ rng position for Random)
@@ -48,9 +56,16 @@ import (
 // deferred until the checksum has verified, so a truncated or corrupted
 // snapshot produces an error — never a panic, however mangled.
 
-// FormatVersion is the snapshot format version written by Checkpoint and
-// required by Resume.
-const FormatVersion = 2
+// FormatVersion is the snapshot format version written by Checkpoint.
+// Resume also reads legacyFormatVersion snapshots when the configured
+// backend is the reference model (the only backend that existed when
+// they were written).
+const FormatVersion = 3
+
+// legacyFormatVersion is the pre-membackend snapshot format: identical
+// to version 3 except the in-flight section is tagged 'I' instead of
+// 'B'. The payloads match byte-for-byte for the reference backend.
+const legacyFormatVersion = 2
 
 // snapMagic identifies an hbmsim snapshot file.
 var snapMagic = [8]byte{'H', 'B', 'M', 'S', 'N', 'A', 'P', '1'}
@@ -64,7 +79,8 @@ const (
 	tagScalars  = 'S'
 	tagCores    = 'C'
 	tagActive   = 'A'
-	tagInflight = 'I'
+	tagBackend  = 'B'
+	tagInflight = 'I' // legacy (format version 2): reference backend in-flight transfers
 	tagPri      = 'P'
 	tagStore    = 'H'
 	tagArbiter  = 'Q'
@@ -107,6 +123,13 @@ func ConfigHash(cfg Config) uint64 {
 	f.str(string(cfg.Permuter))
 	f.u64(uint64(cfg.RemapPeriod))
 	f.u64(uint64(cfg.FetchLatency))
+	// The backend folds in only when it is not the reference model: a
+	// defaulted config must keep hashing exactly as it did before the
+	// backend field existed, so pre-backend fingerprints (snapshots,
+	// sweep journals, result-cache keys) stay valid.
+	if c := cfg.Backend.Canonical(); c != string(membackend.Reference) {
+		f.str(c)
+	}
 	f.u64(uint64(cfg.Seed))
 	f.u64(uint64(cfg.MaxTicks))
 	if cfg.CollectHistogram {
@@ -217,13 +240,8 @@ func (s *Sim) Checkpoint(wr io.Writer) error {
 		w.U64(uint64(ci))
 	}
 
-	w.Tag(tagInflight)
-	w.Int(len(s.inflight))
-	for _, a := range s.inflight {
-		w.U64(uint64(a.core))
-		w.U64(uint64(a.page))
-		w.U64(uint64(a.land))
-	}
+	w.Tag(tagBackend)
+	s.backend.SaveState(w)
 
 	w.Tag(tagPri)
 	for _, r := range s.pri {
@@ -267,8 +285,12 @@ func Resume(rd io.Reader, cfg Config, traces [][]model.PageID) (*Sim, error) {
 	if magic != snapMagic {
 		return nil, fmt.Errorf("core: not an hbmsim snapshot (magic %q)", magic[:])
 	}
-	if ver := r.U64(); r.Err() == nil && ver != FormatVersion {
-		return nil, fmt.Errorf("core: snapshot format version %d, this build reads %d", ver, FormatVersion)
+	ver := r.U64()
+	if r.Err() == nil && ver != FormatVersion && ver != legacyFormatVersion {
+		return nil, fmt.Errorf("core: snapshot format version %d, this build reads %d (and legacy %d)", ver, FormatVersion, legacyFormatVersion)
+	}
+	if ver == legacyFormatVersion && s.cfg.Backend.Kind != membackend.Reference {
+		return nil, fmt.Errorf("core: version-%d snapshots predate memory backends and hold only reference-backend state, but this config selects %q", legacyFormatVersion, s.cfg.Backend.Kind)
 	}
 	if fp := r.U64(); r.Err() == nil && fp != s.fingerprint() {
 		return nil, ErrSnapshotMismatch
@@ -276,7 +298,7 @@ func Resume(rd io.Reader, cfg Config, traces [][]model.PageID) (*Sim, error) {
 	r.MaxCores = uint64(len(s.cores))
 	r.MaxPages = uint64(s.universe)
 
-	if err := s.loadState(r); err != nil {
+	if err := s.loadState(r, ver); err != nil {
 		return nil, err
 	}
 	if err := r.Verify(); err != nil {
@@ -295,8 +317,10 @@ func Resume(rd io.Reader, cfg Config, traces [][]model.PageID) (*Sim, error) {
 }
 
 // loadState overwrites the freshly constructed simulator's dynamic state
-// from the snapshot body, validating as it decodes.
-func (s *Sim) loadState(r *snap.Reader) error {
+// from the snapshot body, validating as it decodes. ver is the
+// snapshot's format version: legacy (version-2) snapshots tag the
+// backend section 'I' but carry the same reference-backend payload.
+func (s *Sim) loadState(r *snap.Reader, ver uint64) error {
 	p := len(s.cores)
 
 	r.Tag(tagScalars, "sim scalars")
@@ -356,22 +380,16 @@ func (s *Sim) loadState(r *snap.Reader) error {
 		s.active = append(s.active, model.CoreID(ci))
 	}
 
-	r.Tag(tagInflight, "in-flight transfers")
-	n = r.Len(s.cfg.Channels*s.cfg.FetchLatency, "in-flight transfers")
-	s.inflight = s.inflight[:0]
-	lastLand := model.Tick(0)
-	for i := 0; i < n; i++ {
-		core := r.Core()
-		page := r.Page()
-		land := model.Tick(r.U64())
-		if r.Err() != nil {
-			return r.Err()
-		}
-		if land < lastLand {
-			return fmt.Errorf("core: snapshot in-flight land ticks not monotone at %d", land)
-		}
-		lastLand = land
-		s.inflight = append(s.inflight, arrival{core: model.CoreID(core), page: model.PageID(page), land: land})
+	if ver == legacyFormatVersion {
+		// The v2 'I' payload is byte-identical to the reference backend's
+		// SaveState (Resume already rejected other backends).
+		r.Tag(tagInflight, "in-flight transfers")
+	} else {
+		r.Tag(tagBackend, "memory backend")
+	}
+	s.backend.LoadState(r)
+	if r.Err() != nil {
+		return r.Err()
 	}
 
 	r.Tag(tagPri, "priority permutation")

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"hbmsim/internal/arbiter"
+	"hbmsim/internal/membackend"
 	"hbmsim/internal/model"
 	"hbmsim/internal/replacement"
 )
@@ -57,6 +58,12 @@ type Config struct {
 	// the default ("the similar block-transfer time ... is captured by
 	// setting all block-transfer times to 1").
 	FetchLatency int
+	// Backend selects the far-memory model (see internal/membackend):
+	// the paper's one-tick-per-transfer far channel (the zero value), a
+	// bandwidth/latency channel, or a hybrid fast/slow two-tier memory.
+	// FetchLatency and Channels parameterise the reference model; the
+	// other backends carry their parameters here.
+	Backend membackend.Config
 	// Seed drives all randomness (Dynamic permutation, Random policies).
 	Seed int64
 	// MaxTicks caps the run as a safety net; zero selects a generous
@@ -99,6 +106,7 @@ func (c Config) withDefaults() Config {
 	if c.FetchLatency == 0 {
 		c.FetchLatency = 1
 	}
+	c.Backend = c.Backend.WithDefaults()
 	return c
 }
 
@@ -124,6 +132,9 @@ func (c Config) Validate(p int) error {
 	}
 	if c.FetchLatency < 0 {
 		return fmt.Errorf("core: FetchLatency must be >= 1 (or 0 for the default), got %d", c.FetchLatency)
+	}
+	if err := c.Backend.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -5,21 +5,36 @@ import (
 
 	"hbmsim/internal/arbiter"
 	"hbmsim/internal/hbm"
+	"hbmsim/internal/membackend"
 	"hbmsim/internal/model"
 	"hbmsim/internal/replacement"
 	"hbmsim/internal/stats"
 )
+
+// arrival is a granted fetch travelling down the naive loop's far
+// channel (the paper's model, hard-wired — RunReference predates the
+// membackend interface on purpose: it is the spec the reference backend
+// is pinned against).
+type arrival struct {
+	core model.CoreID
+	page model.PageID
+	land model.Tick
+}
 
 // RunReference executes the same simulation as Run with a deliberately
 // naive implementation: every tick walks every core through the five steps
 // of §3.1 verbatim, with no event-driven bookkeeping. It exists as the
 // executable specification — Run's optimised active-set simulator must
 // produce bit-identical Results (see TestReferenceEquivalence) — and is
-// O(p) per tick, so use Run for real work.
+// O(p) per tick, so use Run for real work. Only the paper's memory model
+// is implemented: configs selecting another backend are rejected.
 func RunReference(cfg Config, traces [][]model.PageID) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(len(traces)); err != nil {
 		return nil, err
+	}
+	if k := cfg.Backend.WithDefaults().Kind; k != membackend.Reference {
+		return nil, fmt.Errorf("core: RunReference implements only the reference backend, not %q", k)
 	}
 	var store hbm.Store
 	if cfg.Mapping == MappingDirect {

@@ -5,6 +5,7 @@ import (
 
 	"hbmsim/internal/arbiter"
 	"hbmsim/internal/hbm"
+	"hbmsim/internal/membackend"
 	"hbmsim/internal/model"
 	"hbmsim/internal/replacement"
 	"hbmsim/internal/stats"
@@ -61,10 +62,14 @@ type Sim struct {
 	nextActive []model.CoreID
 	candidates []model.CoreID
 
-	// inflight holds channel grants that have not yet landed in HBM
-	// (FetchLatency > 1). Grants are appended in pop order, so land ticks
-	// are non-decreasing and landing is a prefix scan.
-	inflight []arrival
+	// backend owns everything between a channel grant and the page
+	// landing in HBM (see internal/membackend): the paper's model is the
+	// reference backend, selected by the zero Config.Backend. wbSink is
+	// the backend's optional writeback interface (nil when eviction is
+	// free, as in the paper's model), landBuf the reused Drain scratch.
+	backend membackend.Backend
+	wbSink  membackend.WritebackSink
+	landBuf []membackend.Transfer
 
 	obs Observer
 	// priOld is scratch for OnRemap's before-image; allocated lazily.
@@ -143,13 +148,6 @@ type Sim struct {
 	queueSum   uint64
 	queueTicks uint64
 	hist       *stats.Histogram
-}
-
-// arrival is a granted fetch travelling down a far channel.
-type arrival struct {
-	core model.CoreID
-	page model.PageID
-	land model.Tick
 }
 
 // New builds a simulator for the given per-core reference sequences.
@@ -234,6 +232,10 @@ func newSim(cfg Config, traces [][]model.PageID, compact bool) (*Sim, error) {
 	if err != nil {
 		return nil, err
 	}
+	backend, err := membackend.New(cfg.Backend, cfg.Channels, cfg.FetchLatency)
+	if err != nil {
+		return nil, err
+	}
 
 	// Every per-tick slice is preallocated to its bound here — at most
 	// one entry per core in the active/candidate sets and at most
@@ -269,8 +271,10 @@ func newSim(cfg Config, traces [][]model.PageID, compact bool) (*Sim, error) {
 		active:     make([]model.CoreID, 0, p),
 		nextActive: make([]model.CoreID, 0, p),
 		candidates: make([]model.CoreID, 0, p),
-		inflight:   make([]arrival, 0, cfg.Channels*cfg.FetchLatency),
+		backend:    backend,
+		landBuf:    make([]membackend.Transfer, 0, backend.MaxInFlight()),
 	}
+	s.wbSink, _ = backend.(membackend.WritebackSink)
 	for i := range s.scanTo {
 		s.scanTo[i] = -1
 	}
@@ -297,6 +301,16 @@ func newSim(cfg Config, traces [][]model.PageID, compact bool) (*Sim, error) {
 		// behaviour while still halting eviction livelocks (possible when
 		// k is within q of the working set, see DESIGN.md §4).
 		s.capT = 8*model.Tick(total+1) + 1024*model.Tick(len(traces)+cfg.HBMSlots+cfg.Channels)
+		// Slow backends stretch every miss by their worst-case transfer
+		// time; widen the automatic cap accordingly (the reference model's
+		// formula is untouched).
+		if b := cfg.Backend.WithDefaults(); b.Kind != membackend.Reference {
+			perMiss := (b.PageBytes+b.BytesPerTick-1)/b.BytesPerTick + b.LatencyTicks
+			if h := b.SlowReadTicks + b.SlowWriteTicks; b.Kind == membackend.Hybrid && h > perMiss {
+				perMiss = h
+			}
+			s.capT += model.Tick(perMiss) * model.Tick(total+1)
+		}
 	}
 	if compact {
 		s.ownerOf = i32Buf[p:]
@@ -360,10 +374,11 @@ func (s *Sim) FastForwardedStretches() uint64 { return s.ffStretches }
 
 // Step advances the simulation and reports whether it should continue
 // (false once all cores are done or the tick cap is hit). One call
-// normally executes one tick; when the DRAM queue is empty and no fetch
-// is in flight, Step instead fast-forwards the whole contention-free
-// stretch in one call (see fastForward) with bit-identical Results,
-// snapshots, and Observer event streams.
+// normally executes one tick; when the DRAM queue is empty and no
+// transfer completes before the stretch ends, Step instead
+// fast-forwards the whole contention-free stretch in one call (see
+// fastForward) with bit-identical Results, snapshots, and Observer
+// event streams.
 func (s *Sim) Step() bool {
 	if s.Done() || s.truncd {
 		return false
@@ -373,18 +388,21 @@ func (s *Sim) Step() bool {
 		return false
 	}
 
-	// Fast path: with no queued request and no transfer in flight,
-	// residency is static — step 2 queues nothing while every active core
-	// hits, step 3's need is 0 so nothing is evicted, and step 5 grants
-	// and lands nothing — so the next interesting tick is computable and
-	// the stretch up to it can be batch-applied. Attempts are held off
+	// Fast path: with no queued request, residency is static — step 2
+	// queues nothing while every active core hits, step 3's need is 0 so
+	// nothing is evicted, and step 5 grants and lands nothing — so the
+	// next interesting tick is computable and the stretch up to it can be
+	// batch-applied. Transfers may be in flight (a slow backend can hold
+	// them for many ticks while other cores keep hitting): stretchLen then
+	// caps the stretch strictly before the backend's NextEventTick, so the
+	// landing tick itself always runs the slow path. Attempts are held off
 	// for a while after one that found no worthwhile stretch (see ffHold):
 	// short stretches are still folded when found, but a workload that
 	// keeps producing them stops paying the attempt cost on every quiet
 	// tick.
 	if s.ffHold > 0 {
 		s.ffHold--
-	} else if !s.noFF && len(s.inflight) == 0 && s.arb.Len() == 0 && len(s.active) > 0 {
+	} else if !s.noFF && s.arb.Len() == 0 && len(s.active) > 0 {
 		if n := s.stretchLen(); n > 0 {
 			s.fastForward(n)
 			if n < ffPayoff {
@@ -437,24 +455,11 @@ func (s *Sim) Step() bool {
 
 	// Step 3: evict so this tick's landing fetches have room (associative
 	// stores only; direct-mapped stores evict on conflict at step 5
-	// instead). With unit fetch latency the pages landing now are the
-	// ones granted now, min(q, queueLen); with longer latency they are
-	// the due in-flight arrivals (at most q, since grants are q per
-	// tick — so this still "evicts up to q pages" as §3.1 prescribes).
-	var need int
-	if s.cfg.FetchLatency == 1 {
-		need = s.cfg.Channels
-		if n := s.arb.Len(); n < need {
-			need = n
-		}
-	} else {
-		for _, a := range s.inflight {
-			if a.land > t {
-				break
-			}
-			need++
-		}
-	}
+	// instead). The backend answers how many transfers will land this
+	// tick: for the reference model with unit fetch latency those are the
+	// ones granted now, min(q, queueLen); otherwise the due in-flight
+	// arrivals (so this still "evicts up to q pages" as §3.1 prescribes).
+	need := s.backend.DueAt(t, s.arb.Len())
 	evictedAny := false
 	if evicted := s.store.EnsureRoom(need); len(evicted) > 0 {
 		evictedAny = true
@@ -463,6 +468,9 @@ func (s *Sim) Step() bool {
 			s.invalidateScan(pg)
 			if s.obs != nil {
 				s.obs.OnEvict(s.orig(pg), t)
+			}
+			if s.wbSink != nil {
+				s.wbSink.Writeback(t, pg, 0)
 			}
 		}
 	}
@@ -493,11 +501,14 @@ func (s *Sim) Step() bool {
 		}
 	}
 
-	// Step 5: grant up to q queued requests a far channel, then land every
-	// arrival whose transfer time has elapsed (immediately, for the
-	// model's unit latency).
+	// Step 5: grant queued requests a far channel — as many as the
+	// backend admits this tick (the reference model's q; a bandwidth
+	// backend only offers its free channels) — then land every transfer
+	// the backend completes now (immediately, for the model's unit
+	// latency).
 	granted := 0
-	for i := 0; i < s.cfg.Channels; i++ {
+	limit := s.backend.GrantLimit(t)
+	for i := 0; i < limit; i++ {
 		r, ok := s.arb.Pop()
 		if !ok {
 			break
@@ -506,20 +517,12 @@ func (s *Sim) Step() bool {
 		if s.obs != nil {
 			s.obs.OnGrant(r.Core, s.orig(r.Page), t, t-r.Issued)
 		}
-		s.inflight = append(s.inflight, arrival{
-			core: r.Core,
-			page: r.Page,
-			land: t + model.Tick(s.cfg.FetchLatency) - 1,
-		})
+		s.backend.Start(t, membackend.Transfer{Core: r.Core, Page: r.Page})
 	}
 	landStart := len(s.nextActive)
-	landed := 0
-	for _, a := range s.inflight {
-		if a.land > t {
-			break
-		}
-		landed++
-		if victim, displaced, err := s.store.Insert(a.page); err != nil {
+	s.landBuf = s.backend.Drain(t, s.landBuf[:0])
+	for _, a := range s.landBuf {
+		if victim, displaced, err := s.store.Insert(a.Page); err != nil {
 			// Step 3 guaranteed room for every due arrival; this is
 			// unreachable unless an invariant is broken.
 			panic(fmt.Sprintf("core: fetch failed at tick %d: %v", t, err))
@@ -529,28 +532,23 @@ func (s *Sim) Step() bool {
 			if s.obs != nil {
 				s.obs.OnEvict(s.orig(victim), t)
 			}
+			if s.wbSink != nil {
+				s.wbSink.Writeback(t, victim, 0)
+			}
 		}
 		s.fetches++
 		if s.obs != nil {
-			s.obs.OnFetch(a.core, s.orig(a.page), t)
+			s.obs.OnFetch(a.Core, s.orig(a.Page), t)
 		}
-		s.queued[a.core] = false
-		if s.scanTo[a.core] >= 0 {
+		s.queued[a.Core] = false
+		if s.scanTo[a.Core] >= 0 {
 			// The landed page is the core's own current reference (the
 			// one the scan stopped on), so its cached run is stale:
 			// force a fresh rescan on the next fast-forward attempt.
-			s.scanTo[a.core] = -1
+			s.scanTo[a.Core] = -1
 			s.scansLive--
 		}
-		s.nextActive = append(s.nextActive, a.core)
-	}
-	if landed > 0 {
-		// Compact the in-flight queue in place: the remainder is at most
-		// Channels*FetchLatency entries, so this stays within the buffer
-		// preallocated by New (re-slicing from the front would instead
-		// bleed capacity and force reallocation).
-		n := copy(s.inflight, s.inflight[landed:])
-		s.inflight = s.inflight[:n]
+		s.nextActive = append(s.nextActive, a.Core)
 	}
 
 	s.queueSum += uint64(s.arb.Len())
@@ -606,12 +604,23 @@ const (
 // from the current tick: the minimum of the tick cap, the next remap
 // tick (exclusive — remap ticks run the slow path so the permuter's rng
 // stream and OnRemap events fire on their exact ticks), the caller's
-// next observation boundary (inclusive), and every active core's
+// next observation boundary (inclusive), the backend's next transfer
+// completion (exclusive — the landing tick evicts, inserts, and emits
+// events, so it must run the slow path), and every active core's
 // verified hit run. Zero means the next tick is interesting and must
 // run the slow path.
 func (s *Sim) stretchLen() model.Tick {
 	t0 := s.tick
 	lim := s.capT - t0
+	if s.backend.InFlight() > 0 {
+		ne := s.backend.NextEventTick(t0)
+		if ne <= t0+1 {
+			return 0
+		}
+		if d := ne - t0 - 1; d < lim {
+			lim = d
+		}
+	}
 	// A single stretch never needs more than ~1G ticks (runs are bounded
 	// by trace lengths); clamping keeps the int conversions below safe
 	// against caller-supplied MaxTicks near the int64 limit.

@@ -3,6 +3,10 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"hbmsim/internal/core"
+	"hbmsim/internal/membackend"
+	"hbmsim/internal/sweep"
 )
 
 // tiny returns miniature options so every experiment runs in well under a
@@ -40,7 +44,7 @@ func TestIDsSortedAndComplete(t *testing.T) {
 		"table1a", "table1b", "table2a", "table2b", "fig6", "knl-properties",
 		"channels", "replacement", "permuters", "imbalance", "directmap",
 		"mapping", "offline", "augmentation", "latency", "missratio",
-		"responsecdf", "variance", "timeline",
+		"responsecdf", "variance", "timeline", "backends",
 	} {
 		found := false
 		for _, id := range ids {
@@ -103,6 +107,40 @@ func TestOptionsValidate(t *testing.T) {
 	bad.TradeoffThreads = 0
 	if err := bad.Validate(); err == nil {
 		t.Error("zero tradeoff threads accepted")
+	}
+	bad = tiny()
+	bad.Backend = membackend.Config{Kind: "warp-drive"}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+// TestBackendOverride pins the hbmsweep -backend plumbing: Options.Backend
+// reaches every sweep job that did not choose its own backend, and leaves
+// explicit choices (the backends experiment) alone.
+func TestBackendOverride(t *testing.T) {
+	o := tiny()
+	o.Backend = membackend.Config{Kind: membackend.Bandwidth}
+	jobs := []sweep.Job{
+		{Name: "defaulted", Config: core.Config{HBMSlots: 8, Channels: 1}},
+		{Name: "explicit", Config: core.Config{HBMSlots: 8, Channels: 1,
+			Backend: membackend.Config{Kind: membackend.Hybrid}}},
+	}
+	o.applyBackend(jobs)
+	if jobs[0].Config.Backend.Kind != membackend.Bandwidth {
+		t.Errorf("defaulted job backend = %q, want bandwidth", jobs[0].Config.Backend.Kind)
+	}
+	if jobs[1].Config.Backend.Kind != membackend.Hybrid {
+		t.Errorf("explicit job backend = %q, want hybrid (override must not clobber it)", jobs[1].Config.Backend.Kind)
+	}
+
+	// End to end: a small experiment under the override still completes.
+	out, err := Run("fig2a", o)
+	if err != nil {
+		t.Fatalf("fig2a under bandwidth backend: %v", err)
+	}
+	if len(out.Tables) == 0 || out.Tables[0].Len() == 0 {
+		t.Fatal("fig2a under bandwidth backend produced no rows")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"hbmsim/internal/membackend"
 	"hbmsim/internal/metrics"
 	"hbmsim/internal/sweep"
 )
@@ -46,6 +47,11 @@ type Options struct {
 	Seed int64
 	// Workers bounds sweep parallelism; <= 0 means GOMAXPROCS.
 	Workers int
+	// Backend, when its Kind is set, becomes the far-memory model of every
+	// sweep job whose config leaves Config.Backend unset — the plumbing
+	// behind `hbmsweep -backend`. Jobs that pick a backend explicitly (the
+	// `backends` experiment) keep their choice.
+	Backend membackend.Config
 
 	// Ctx, when non-nil, cancels the experiment's sweeps between jobs
 	// (finished rows are kept, undispatched jobs error with the context's
@@ -73,12 +79,27 @@ type Options struct {
 // run executes one sweep with the Options' live-introspection surface
 // (context, progress callback, metrics registry) applied.
 func (o Options) run(jobs []sweep.Job) []sweep.Row {
+	o.applyBackend(jobs)
 	return sweep.RunContext(o.Ctx, jobs, o.sweepOptions())
 }
 
 // runReplicated is run for seed-replicated sweeps.
 func (o Options) runReplicated(jobs []sweep.Job, replicas int) []sweep.Replicated {
+	o.applyBackend(jobs)
 	return sweep.RunReplicatedContext(o.Ctx, jobs, replicas, o.sweepOptions())
+}
+
+// applyBackend folds Options.Backend into jobs that did not pick their
+// own far-memory model.
+func (o Options) applyBackend(jobs []sweep.Job) {
+	if o.Backend.Kind == "" {
+		return
+	}
+	for i := range jobs {
+		if jobs[i].Config.Backend.Kind == "" {
+			jobs[i].Config.Backend = o.Backend
+		}
+	}
 }
 
 func (o Options) sweepOptions() sweep.Options {
@@ -150,6 +171,9 @@ func (o Options) Validate() error {
 	}
 	if o.TradeoffThreads < 1 {
 		return fmt.Errorf("experiments: tradeoff thread count must be >= 1, got %d", o.TradeoffThreads)
+	}
+	if err := o.Backend.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -1,0 +1,197 @@
+package membackend
+
+import (
+	"fmt"
+
+	"hbmsim/internal/model"
+	"hbmsim/internal/snap"
+)
+
+// bandwidth models q independent channels that each move BytesPerTick
+// bytes per tick, one transfer at a time (SNIPPETS.md Snippet 1's
+// HBMChannel): a transfer of n bytes occupies its channel for
+// ceil(n/BytesPerTick) ticks and lands LatencyTicks after the channel
+// finishes. A channel is granted only while free, so under load the
+// grant limit — not the arbiter — throttles admission, and completion
+// order follows transfer size rather than start order.
+//
+// Every completion tick is strictly after its start tick (the occupancy
+// is at least one tick and the landing comes after it), so DueAt never
+// has to reason about same-tick grants the way the reference model
+// does.
+type bandwidth struct {
+	bytesPerTick int
+	latencyTicks int
+	pageBytes    int
+
+	// freeAt[i] is the first tick channel i can begin a new transfer.
+	freeAt []model.Tick
+	// pending holds started transfers sorted by (done, start order);
+	// Drain pops a prefix.
+	pending []xferDue
+}
+
+// xferDue is a started transfer waiting for its completion tick.
+type xferDue struct {
+	core  model.CoreID
+	page  model.PageID
+	bytes int
+	done  model.Tick
+}
+
+func newBandwidth(c Config, channels int) *bandwidth {
+	return &bandwidth{
+		bytesPerTick: c.BytesPerTick,
+		latencyTicks: c.LatencyTicks,
+		pageBytes:    c.PageBytes,
+		freeAt:       make([]model.Tick, channels),
+		pending:      make([]xferDue, 0, channels*(c.LatencyTicks+2)),
+	}
+}
+
+func (b *bandwidth) GrantLimit(t model.Tick) int {
+	n := 0
+	for _, f := range b.freeAt {
+		if f <= t {
+			n++
+		}
+	}
+	return n
+}
+
+// xferTicks is ceil(bytes/BytesPerTick), at least 1.
+func (b *bandwidth) xferTicks(bytes int) model.Tick {
+	if bytes <= 0 {
+		bytes = b.pageBytes
+	}
+	ticks := (bytes + b.bytesPerTick - 1) / b.bytesPerTick
+	if ticks < 1 {
+		ticks = 1
+	}
+	return model.Tick(ticks)
+}
+
+func (b *bandwidth) Start(t model.Tick, tr Transfer) {
+	// Lowest-index free channel; if the kernel over-grants (contract
+	// violation, but stay deterministic), queue behind the earliest-free
+	// channel instead.
+	ch := -1
+	for i, f := range b.freeAt {
+		if f <= t {
+			ch = i
+			break
+		}
+	}
+	begin := t
+	if ch == -1 {
+		ch = 0
+		for i := 1; i < len(b.freeAt); i++ {
+			if b.freeAt[i] < b.freeAt[ch] {
+				ch = i
+			}
+		}
+		begin = b.freeAt[ch]
+	}
+	bytes := tr.Bytes
+	if bytes <= 0 {
+		bytes = b.pageBytes
+	}
+	xfer := b.xferTicks(bytes)
+	b.freeAt[ch] = begin + xfer
+	b.insertPending(xferDue{
+		core:  tr.Core,
+		page:  tr.Page,
+		bytes: bytes,
+		done:  begin + xfer + model.Tick(b.latencyTicks),
+	})
+}
+
+// insertPending keeps pending sorted by done tick with ties in start
+// order: the new transfer goes after every pending one with done <= its
+// own. The slice is bounded by MaxInFlight, so the shift is cheap.
+func (b *bandwidth) insertPending(x xferDue) {
+	i := len(b.pending)
+	for i > 0 && b.pending[i-1].done > x.done {
+		i--
+	}
+	b.pending = append(b.pending, xferDue{})
+	copy(b.pending[i+1:], b.pending[i:])
+	b.pending[i] = x
+}
+
+func (b *bandwidth) DueAt(t model.Tick, _ int) int {
+	n := 0
+	for _, x := range b.pending {
+		if x.done > t {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func (b *bandwidth) Drain(t model.Tick, dst []Transfer) []Transfer {
+	n := 0
+	for _, x := range b.pending {
+		if x.done > t {
+			break
+		}
+		dst = append(dst, Transfer{Core: x.core, Page: x.page, Bytes: x.bytes})
+		n++
+	}
+	if n > 0 {
+		b.pending = b.pending[:copy(b.pending, b.pending[n:])]
+	}
+	return dst
+}
+
+func (b *bandwidth) InFlight() int { return len(b.pending) }
+
+// MaxInFlight bounds a channel's pipeline depth: starts on one channel
+// are at least one occupancy apart, so at most latency+2 of its
+// transfers can be awaiting completion at once.
+func (b *bandwidth) MaxInFlight() int { return len(b.freeAt) * (b.latencyTicks + 2) }
+
+func (b *bandwidth) NextEventTick(model.Tick) model.Tick {
+	if len(b.pending) == 0 {
+		return 0
+	}
+	return b.pending[0].done
+}
+
+func (b *bandwidth) SaveState(w *snap.Writer) {
+	for _, f := range b.freeAt {
+		w.U64(uint64(f))
+	}
+	w.Int(len(b.pending))
+	for _, x := range b.pending {
+		w.U64(uint64(x.core))
+		w.U64(uint64(x.page))
+		w.Int(x.bytes)
+		w.U64(uint64(x.done))
+	}
+}
+
+func (b *bandwidth) LoadState(r *snap.Reader) {
+	for i := range b.freeAt {
+		b.freeAt[i] = model.Tick(r.U64())
+	}
+	n := r.Len(b.MaxInFlight(), "bandwidth in-flight transfers")
+	b.pending = b.pending[:0]
+	lastDone := model.Tick(0)
+	for i := 0; i < n; i++ {
+		core := r.Core()
+		page := r.Page()
+		bytes := r.Len(1<<30, "transfer bytes")
+		done := model.Tick(r.U64())
+		if r.Err() != nil {
+			return
+		}
+		if done < lastDone {
+			r.Fail(fmt.Errorf("membackend: snapshot done ticks not monotone at %d", done))
+			return
+		}
+		lastDone = done
+		b.pending = append(b.pending, xferDue{core: model.CoreID(core), page: model.PageID(page), bytes: bytes, done: done})
+	}
+}

@@ -1,0 +1,221 @@
+package membackend
+
+import (
+	"fmt"
+
+	"hbmsim/internal/model"
+	"hbmsim/internal/snap"
+)
+
+// hybrid models a two-tier DRAM+NVM far memory with the read/write
+// asymmetry of the hybrid-memory analytic models: a page fetched from
+// the FIFO-managed fast tier costs FastReadTicks, one fetched from the
+// slow tier costs SlowReadTicks (and is promoted into the fast tier,
+// FIFO-evicting the oldest resident when full). Evicted HBM pages write
+// back through a dedicated writeback channel at FastWriteTicks or
+// SlowWriteTicks — the slow tier's write penalty is the NVM signature —
+// and while that channel is behind, one fetch channel is withheld from
+// the grant limit, so heavy eviction traffic visibly throttles fetch
+// bandwidth.
+//
+// Fetch channels are pipelined like the reference model's (q grants per
+// tick); completion order follows read cost, so a fast-tier hit started
+// after a slow-tier read can land first. Every completion is strictly
+// after its start tick (costs are >= 1).
+type hybrid struct {
+	channels  int
+	fastSlots int
+	fastRead  model.Tick
+	slowRead  model.Tick
+	fastWrite model.Tick
+	slowWrite model.Tick
+	pageBytes int
+
+	// fastFIFO holds the fast tier's residents in arrival order;
+	// fastSet mirrors it for O(1) membership.
+	fastFIFO []model.PageID
+	fastSet  map[model.PageID]struct{}
+	// pending holds started fetches sorted by (done, start order).
+	pending []xferDue
+	// wbFreeAt is the first tick the writeback channel is idle again.
+	wbFreeAt model.Tick
+}
+
+func newHybrid(c Config, channels int) *hybrid {
+	return &hybrid{
+		channels:  channels,
+		fastSlots: c.FastSlots,
+		fastRead:  model.Tick(c.FastReadTicks),
+		slowRead:  model.Tick(c.SlowReadTicks),
+		fastWrite: model.Tick(c.FastWriteTicks),
+		slowWrite: model.Tick(c.SlowWriteTicks),
+		pageBytes: c.PageBytes,
+		fastFIFO:  make([]model.PageID, 0, c.FastSlots),
+		fastSet:   make(map[model.PageID]struct{}, c.FastSlots),
+		pending:   make([]xferDue, 0, channels*c.SlowReadTicks),
+	}
+}
+
+func (b *hybrid) GrantLimit(t model.Tick) int {
+	if b.wbFreeAt > t && b.channels > 1 {
+		return b.channels - 1
+	}
+	return b.channels
+}
+
+// admitFast promotes a page into the fast tier, FIFO-evicting the
+// oldest resident when the tier is full.
+func (b *hybrid) admitFast(p model.PageID) {
+	if _, ok := b.fastSet[p]; ok {
+		return
+	}
+	if len(b.fastFIFO) >= b.fastSlots {
+		old := b.fastFIFO[0]
+		b.fastFIFO = b.fastFIFO[:copy(b.fastFIFO, b.fastFIFO[1:])]
+		delete(b.fastSet, old)
+	}
+	b.fastFIFO = append(b.fastFIFO, p)
+	b.fastSet[p] = struct{}{}
+}
+
+func (b *hybrid) Start(t model.Tick, tr Transfer) {
+	cost := b.slowRead
+	if _, ok := b.fastSet[tr.Page]; ok {
+		cost = b.fastRead
+	} else {
+		b.admitFast(tr.Page)
+	}
+	bytes := tr.Bytes
+	if bytes <= 0 {
+		bytes = b.pageBytes
+	}
+	b.insertPending(xferDue{core: tr.Core, page: tr.Page, bytes: bytes, done: t + cost})
+}
+
+// insertPending keeps pending sorted by done tick, ties in start order.
+func (b *hybrid) insertPending(x xferDue) {
+	i := len(b.pending)
+	for i > 0 && b.pending[i-1].done > x.done {
+		i--
+	}
+	b.pending = append(b.pending, xferDue{})
+	copy(b.pending[i+1:], b.pending[i:])
+	b.pending[i] = x
+}
+
+func (b *hybrid) DueAt(t model.Tick, _ int) int {
+	n := 0
+	for _, x := range b.pending {
+		if x.done > t {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func (b *hybrid) Drain(t model.Tick, dst []Transfer) []Transfer {
+	n := 0
+	for _, x := range b.pending {
+		if x.done > t {
+			break
+		}
+		dst = append(dst, Transfer{Core: x.core, Page: x.page, Bytes: x.bytes})
+		n++
+	}
+	if n > 0 {
+		b.pending = b.pending[:copy(b.pending, b.pending[n:])]
+	}
+	return dst
+}
+
+func (b *hybrid) InFlight() int { return len(b.pending) }
+
+// MaxInFlight: fetch channels are pipelined and a fetch lives at most
+// SlowReadTicks ticks, so each channel holds at most that many.
+func (b *hybrid) MaxInFlight() int { return b.channels * int(b.slowRead) }
+
+func (b *hybrid) NextEventTick(model.Tick) model.Tick {
+	if len(b.pending) == 0 {
+		return 0
+	}
+	return b.pending[0].done
+}
+
+// Writeback queues an evicted page onto the writeback channel: the cost
+// is the tier the page currently maps to, and the channel serialises
+// (wbFreeAt accumulates under backlog). Writing a page back also drops
+// it from the fast tier — its next fetch pays the slow-read cost, which
+// is the read-after-evict penalty the two-tier model exists to expose.
+func (b *hybrid) Writeback(t model.Tick, page model.PageID, _ int) {
+	cost := b.slowWrite
+	if _, ok := b.fastSet[page]; ok {
+		cost = b.fastWrite
+		for i, p := range b.fastFIFO {
+			if p == page {
+				b.fastFIFO = append(b.fastFIFO[:i], b.fastFIFO[i+1:]...)
+				break
+			}
+		}
+		delete(b.fastSet, page)
+	}
+	begin := b.wbFreeAt
+	if begin < t {
+		begin = t
+	}
+	b.wbFreeAt = begin + cost
+}
+
+func (b *hybrid) SaveState(w *snap.Writer) {
+	w.Int(len(b.fastFIFO))
+	for _, p := range b.fastFIFO {
+		w.U64(uint64(p))
+	}
+	w.Int(len(b.pending))
+	for _, x := range b.pending {
+		w.U64(uint64(x.core))
+		w.U64(uint64(x.page))
+		w.Int(x.bytes)
+		w.U64(uint64(x.done))
+	}
+	w.U64(uint64(b.wbFreeAt))
+}
+
+func (b *hybrid) LoadState(r *snap.Reader) {
+	n := r.Len(b.fastSlots, "fast-tier pages")
+	b.fastFIFO = b.fastFIFO[:0]
+	for p := range b.fastSet {
+		delete(b.fastSet, p)
+	}
+	for i := 0; i < n; i++ {
+		p := model.PageID(r.Page())
+		if r.Err() != nil {
+			return
+		}
+		if _, dup := b.fastSet[p]; dup {
+			r.Fail(fmt.Errorf("membackend: snapshot fast tier repeats page %d", p))
+			return
+		}
+		b.fastFIFO = append(b.fastFIFO, p)
+		b.fastSet[p] = struct{}{}
+	}
+	n = r.Len(b.MaxInFlight(), "hybrid in-flight transfers")
+	b.pending = b.pending[:0]
+	lastDone := model.Tick(0)
+	for i := 0; i < n; i++ {
+		core := r.Core()
+		page := r.Page()
+		bytes := r.Len(1<<30, "transfer bytes")
+		done := model.Tick(r.U64())
+		if r.Err() != nil {
+			return
+		}
+		if done < lastDone {
+			r.Fail(fmt.Errorf("membackend: snapshot done ticks not monotone at %d", done))
+			return
+		}
+		lastDone = done
+		b.pending = append(b.pending, xferDue{core: model.CoreID(core), page: model.PageID(page), bytes: bytes, done: done})
+	}
+	b.wbFreeAt = model.Tick(r.U64())
+}

@@ -1,0 +1,129 @@
+package membackend
+
+import (
+	"fmt"
+
+	"hbmsim/internal/model"
+	"hbmsim/internal/snap"
+)
+
+// reference is the paper's far-channel model, extracted verbatim from
+// the pre-interface tick kernel: q pipelined channels grant q transfers
+// per tick, and every transfer lands exactly fetchLatency ticks after it
+// was granted (land = start + L - 1, drained at the end of that tick).
+// With L = 1 a granted transfer lands on its own grant tick, which is
+// why DueAt must fold the same-tick grants bounded by queueLen — the
+// kernel sizes evictions before the grant phase runs.
+//
+// The in-flight slice is kept in start order; land ticks are therefore
+// non-decreasing, Drain pops a prefix, and SaveState's payload is
+// byte-identical to the HBMSNAP v2 'I' section (which is what lets the
+// legacy decode path feed a v2 snapshot straight into LoadState).
+type reference struct {
+	channels int
+	latency  int
+
+	// inflight holds started transfers in start order; land ticks are
+	// non-decreasing. The backing array is preallocated to the
+	// channels×latency ceiling, so the steady state never allocates.
+	inflight []refArrival
+}
+
+type refArrival struct {
+	core model.CoreID
+	page model.PageID
+	land model.Tick
+}
+
+func newReference(channels, latency int) *reference {
+	return &reference{
+		channels: channels,
+		latency:  latency,
+		inflight: make([]refArrival, 0, channels*latency),
+	}
+}
+
+func (b *reference) GrantLimit(model.Tick) int { return b.channels }
+
+func (b *reference) Start(t model.Tick, tr Transfer) {
+	b.inflight = append(b.inflight, refArrival{
+		core: tr.Core,
+		page: tr.Page,
+		land: t + model.Tick(b.latency) - 1,
+	})
+}
+
+func (b *reference) DueAt(t model.Tick, queueLen int) int {
+	if b.latency == 1 {
+		if queueLen < b.channels {
+			return queueLen
+		}
+		return b.channels
+	}
+	n := 0
+	for _, a := range b.inflight {
+		if a.land > t {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func (b *reference) Drain(t model.Tick, dst []Transfer) []Transfer {
+	n := 0
+	for _, a := range b.inflight {
+		if a.land > t {
+			break
+		}
+		dst = append(dst, Transfer{Core: a.core, Page: a.page})
+		n++
+	}
+	if n > 0 {
+		b.inflight = b.inflight[:copy(b.inflight, b.inflight[n:])]
+	}
+	return dst
+}
+
+func (b *reference) InFlight() int    { return len(b.inflight) }
+func (b *reference) MaxInFlight() int { return b.channels * b.latency }
+
+func (b *reference) NextEventTick(model.Tick) model.Tick {
+	if len(b.inflight) == 0 {
+		return 0
+	}
+	return b.inflight[0].land
+}
+
+// SaveState writes the in-flight transfers exactly as the pre-interface
+// kernel's 'I' section did: a count, then (core, page, land) triples in
+// start order. Byte-identity here is load-bearing — the v2 legacy
+// decode path replays an old 'I' payload through LoadState unchanged.
+func (b *reference) SaveState(w *snap.Writer) {
+	w.Int(len(b.inflight))
+	for _, a := range b.inflight {
+		w.U64(uint64(a.core))
+		w.U64(uint64(a.page))
+		w.U64(uint64(a.land))
+	}
+}
+
+func (b *reference) LoadState(r *snap.Reader) {
+	n := r.Len(b.MaxInFlight(), "in-flight transfers")
+	b.inflight = b.inflight[:0]
+	lastLand := model.Tick(0)
+	for i := 0; i < n; i++ {
+		core := r.Core()
+		page := r.Page()
+		land := model.Tick(r.U64())
+		if r.Err() != nil {
+			return
+		}
+		if land < lastLand {
+			r.Fail(fmt.Errorf("membackend: snapshot in-flight land ticks not monotone at %d", land))
+			return
+		}
+		lastLand = land
+		b.inflight = append(b.inflight, refArrival{core: model.CoreID(core), page: model.PageID(page), land: land})
+	}
+}

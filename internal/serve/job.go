@@ -40,6 +40,7 @@ import (
 	"hbmsim/internal/arbiter"
 	"hbmsim/internal/core"
 	"hbmsim/internal/experiments"
+	"hbmsim/internal/membackend"
 	"hbmsim/internal/model"
 	"hbmsim/internal/replacement"
 	"hbmsim/internal/trace"
@@ -94,8 +95,15 @@ type ConfigSpec struct {
 	Permuter     string `json:"permuter,omitempty"`
 	RemapPeriod  uint64 `json:"remap_period,omitempty"`
 	FetchLatency int    `json:"fetch_latency,omitempty"`
-	Seed         int64  `json:"seed,omitempty"`
-	MaxTicks     uint64 `json:"max_ticks,omitempty"`
+	// Backend names the far-memory model (reference, bandwidth, hybrid);
+	// empty selects the paper's reference model. BackendParams carries the
+	// backend's parameters in the CLI's comma-separated key=value syntax
+	// (e.g. "bytes_per_tick=8,latency_ticks=9"); keys are
+	// membackend.Config's JSON names.
+	Backend       string `json:"backend,omitempty"`
+	BackendParams string `json:"backend_params,omitempty"`
+	Seed          int64  `json:"seed,omitempty"`
+	MaxTicks      uint64 `json:"max_ticks,omitempty"`
 }
 
 // Config converts the spec to a core.Config, validating every named
@@ -130,6 +138,21 @@ func (c ConfigSpec) Config() (core.Config, error) {
 	}
 	if c.Permuter != "" && !containsKind(arbiter.PermuterKinds(), cfg.Permuter) {
 		return cfg, fmt.Errorf("serve: unknown permuter %q (known: %v)", c.Permuter, arbiter.PermuterKinds())
+	}
+	if c.Backend != "" || c.BackendParams != "" {
+		name := c.Backend
+		if name == "" {
+			name = string(membackend.Reference)
+		}
+		kind, err := membackend.ParseKind(name)
+		if err != nil {
+			return cfg, err
+		}
+		bc, err := membackend.ParseParams(kind, c.BackendParams)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Backend = bc
 	}
 	return cfg, nil
 }

@@ -3,6 +3,8 @@ package serve
 import (
 	"strings"
 	"testing"
+
+	"hbmsim/internal/membackend"
 )
 
 func TestWorkloadSpecBuild(t *testing.T) {
@@ -69,6 +71,38 @@ func TestConfigSpecValidation(t *testing.T) {
 	}
 }
 
+// TestConfigSpecBackend covers the backend fields: named kinds parse with
+// their key=value parameters, bad kinds and parameters are refused, and a
+// spec with no backend stays on the reference model.
+func TestConfigSpecBackend(t *testing.T) {
+	cfg, err := (ConfigSpec{HBMSlots: 8, Backend: "bandwidth", BackendParams: "bytes_per_tick=8,latency_ticks=9"}).Config()
+	if err != nil {
+		t.Fatalf("bandwidth spec: %v", err)
+	}
+	if cfg.Backend.Kind != membackend.Bandwidth || cfg.Backend.BytesPerTick != 8 || cfg.Backend.LatencyTicks != 9 {
+		t.Errorf("backend config = %+v", cfg.Backend)
+	}
+	if _, err := (ConfigSpec{HBMSlots: 8, Backend: "bogus"}).Config(); err == nil ||
+		!strings.Contains(err.Error(), "unknown backend") {
+		t.Errorf("bad backend: %v", err)
+	}
+	if _, err := (ConfigSpec{HBMSlots: 8, Backend: "hybrid", BackendParams: "warp=9"}).Config(); err == nil {
+		t.Error("bad backend parameter accepted")
+	}
+	// Parameters without a kind parameterise the reference model — refused
+	// keys still error rather than being silently dropped.
+	if _, err := (ConfigSpec{HBMSlots: 8, BackendParams: "fast_slots=-1"}).Config(); err == nil {
+		t.Error("invalid parameter without a kind accepted")
+	}
+	cfg, err = (ConfigSpec{HBMSlots: 8}).Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Backend.Kind != "" {
+		t.Errorf("spec without backend set kind %q", cfg.Backend.Kind)
+	}
+}
+
 // TestFingerprintSensitivity pins that the identity hash moves with
 // every input that affects results — it is what stops a recovered job
 // from replaying journal rows that belong to a different job.
@@ -88,6 +122,7 @@ func TestFingerprintSensitivity(t *testing.T) {
 
 	mutations := map[string]func(*Spec){
 		"config":     func(s *Spec) { s.Points[0].Config.HBMSlots++ },
+		"backend":    func(s *Spec) { s.Points[0].Config.Backend = "bandwidth" },
 		"point name": func(s *Spec) { s.Points[1].Name = "renamed" },
 		"point set":  func(s *Spec) { s.Points = s.Points[:1] },
 	}

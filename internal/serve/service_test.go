@@ -22,6 +22,44 @@ func testSimSpec() Spec {
 	}
 }
 
+// TestSimJobWithBackend runs a sim job whose spec selects a non-default
+// far-memory backend end to end and checks the payload matches a direct
+// core.Run under the same backend.
+func TestSimJobWithBackend(t *testing.T) {
+	s := openTestService(t, t.TempDir(), nil)
+	defer s.Close()
+	spec := testSimSpec()
+	spec.Config.Backend = "hybrid"
+	spec.Config.BackendParams = "fast_slots=8"
+	v, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	done := waitState(t, s, v.ID, StateDone)
+	if done.Result == nil || done.Result.Sim == nil {
+		t.Fatal("no sim payload")
+	}
+
+	wl, err := spec.Workload.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := spec.Config.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Run(cfg, wl.Raw())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(done.Result.Sim, want) {
+		t.Errorf("backend job result diverged from direct run:\n%+v\nvs\n%+v", done.Result.Sim, want)
+	}
+	if done.Result.Sim.Makespan <= 0 {
+		t.Error("empty result")
+	}
+}
+
 // testSweepSpec is a sweep over n arbiter points on one workload.
 func testSweepSpec(n int) Spec {
 	points := make([]Point, n)
